@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the hot paths: event queue, switch MMU,
+//! SACK machinery, and a small end-to-end engine run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dcsim::{small_single_switch, Engine, FlowSpec, SimConfig};
+use eventsim::{EventQueue, SimTime};
+use netsim::packet::{FlowId, Packet};
+use netsim::switch::{Switch, SwitchConfig};
+use netsim::topology::PortId;
+use transport::buffer::{RecvBuffer, Scoreboard};
+use transport::TransportKind;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_ns((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_switch(c: &mut Criterion) {
+    c.bench_function("switch/enqueue_dequeue_4k", |b| {
+        b.iter(|| {
+            let mut cfg = SwitchConfig::trident2(12);
+            cfg.color_threshold = Some(400_000);
+            let mut sw = Switch::new(cfg, 1);
+            for i in 0..4_000u64 {
+                let mut p = Packet::data(FlowId(0), i * 1000, 1000);
+                p.colorize(true);
+                sw.enqueue(p, PortId(0), PortId((i % 12) as u32), SimTime::ZERO);
+                if i % 2 == 0 {
+                    sw.dequeue(PortId((i % 12) as u32), SimTime::ZERO);
+                }
+            }
+            black_box(sw.total_bytes())
+        })
+    });
+}
+
+fn bench_sack(c: &mut Criterion) {
+    c.bench_function("sack/reassembly_1k_segments", |b| {
+        b.iter(|| {
+            let mut rb = RecvBuffer::new(1_000_000);
+            // Worst-ish case: alternating halves create many ranges.
+            for i in (0..1000u64).step_by(2) {
+                rb.insert(i * 1000, (i + 1) * 1000);
+            }
+            for i in (1..1000u64).step_by(2) {
+                rb.insert(i * 1000, (i + 1) * 1000);
+            }
+            black_box(rb.is_complete())
+        })
+    });
+    c.bench_function("sack/scoreboard_holes", |b| {
+        b.iter(|| {
+            let mut sb = Scoreboard::new();
+            for i in 0..500u64 {
+                sb.add_block(netsim::packet::SackBlock {
+                    start: i * 2000 + 1000,
+                    end: i * 2000 + 2000,
+                });
+            }
+            let mut holes = 0;
+            let mut from = 0;
+            while let Some((hs, he)) = sb.first_hole(from) {
+                holes += 1;
+                from = he.max(hs + 1);
+            }
+            black_box(holes)
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/8way_incast_dctcp", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+                .with_topology(small_single_switch(9));
+            let flows: Vec<FlowSpec> = (1..9)
+                .map(|s| FlowSpec::new(s, 0, 32_000, SimTime::ZERO, true))
+                .collect();
+            let res = Engine::new(cfg, flows).run();
+            black_box(res.agg.data_pkts_sent)
+        })
+    });
+    c.bench_function("engine/8way_incast_dctcp_tlt", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+                .with_topology(small_single_switch(9))
+                .with_tlt();
+            let flows: Vec<FlowSpec> = (1..9)
+                .map(|s| FlowSpec::new(s, 0, 32_000, SimTime::ZERO, true))
+                .collect();
+            let res = Engine::new(cfg, flows).run();
+            black_box(res.agg.data_pkts_sent)
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_switch, bench_sack, bench_engine);
+criterion_main!(benches);

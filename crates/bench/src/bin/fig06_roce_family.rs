@@ -1,0 +1,76 @@
+//! Figure 6: FCT for HPCC and DCQCN (vanilla / +SACK / +IRN).
+//!
+//! Reproduces the RoCE-family comparison under the standard mix: each
+//! scheme with and without PFC, baseline vs TLT (IRN is evaluated without
+//! PFC, as in the paper). Reports fg 99.9%-ile and bg average FCT.
+//!
+//! Paper's headline numbers: TLT cuts HPCC's fg p99.9 by 78.5% (no PFC)
+//! and vanilla DCQCN's by 69.1%; with DCQCN+SACK+PFC it cuts bg avg by
+//! 21.4% via fewer PAUSE frames.
+
+use bench::runner::{self, Args};
+use transport::TransportKind;
+use workload::{standard_mix, FlowSizeCdf};
+
+fn main() {
+    let args = Args::parse();
+    let cdf = FlowSizeCdf::web_search();
+    let mut rows = Vec::new();
+
+    runner::print_header(
+        "Figure 6: RoCE-family FCT (standard mix)",
+        &["fg p99.9 (ms)", "fg p99 (ms)", "bg avg (ms)", "TO/1k"],
+    );
+    let schemes: Vec<(TransportKind, bool, bool)> = vec![
+        // (kind, tlt, pfc)
+        (TransportKind::Hpcc, false, false),
+        (TransportKind::Hpcc, false, true),
+        (TransportKind::Hpcc, true, false),
+        (TransportKind::Hpcc, true, true),
+        (TransportKind::DcqcnIrn, false, false),
+        (TransportKind::DcqcnIrn, true, false),
+        (TransportKind::DcqcnSack, false, false),
+        (TransportKind::DcqcnSack, false, true),
+        (TransportKind::DcqcnSack, true, false),
+        (TransportKind::DcqcnSack, true, true),
+        (TransportKind::DcqcnGbn, false, false),
+        (TransportKind::DcqcnGbn, false, true),
+        (TransportKind::DcqcnGbn, true, false),
+        (TransportKind::DcqcnGbn, true, true),
+    ];
+    for (kind, tlt, pfc) in schemes {
+        let name = format!(
+            "{}{}{}",
+            kind.name(),
+            if pfc { "+PFC" } else { "" },
+            if tlt { "+TLT" } else { "" }
+        );
+        let p = args.mix();
+        let r = runner::run_scheme(
+            name,
+            args.seeds,
+            |_s| runner::roce_cfg(&p, kind, tlt, pfc),
+            |s| {
+                let mut mp = p;
+                mp.seed = s;
+                standard_mix(&cdf, mp)
+            },
+        );
+        runner::print_row(
+            &r.name,
+            &[&r.fg_p999_ms, &r.fg_p99_ms, &r.bg_avg_ms, &r.timeouts_per_1k],
+        );
+        rows.push(vec![
+            r.name.clone(),
+            format!("{:.4}", r.fg_p999_ms.mean()),
+            format!("{:.4}", r.fg_p99_ms.mean()),
+            format!("{:.4}", r.bg_avg_ms.mean()),
+            format!("{:.3}", r.timeouts_per_1k.mean()),
+        ]);
+    }
+    runner::maybe_csv(
+        &args,
+        &["scheme", "fg_p999_ms", "fg_p99_ms", "bg_avg_ms", "timeouts_per_1k"],
+        &rows,
+    );
+}

@@ -1,0 +1,83 @@
+//! Figure 7: timeouts per 1 k flows, PAUSE frames per 1 k flows, and the
+//! average fraction of time links spend paused.
+//!
+//! Panel (a) compares loss-recovery variants on the lossy network (DCTCP
+//! and TCP); panels (b)/(c) compare PFC-enabled schemes with and without
+//! TLT. Paper: DCTCP+TLT nearly eliminates timeouts; TLT reduces PAUSE
+//! frames by 27.7% (DCTCP) / 93.2% (TCP) and paused time by 66.7% / 95.8%.
+
+use bench::runner::{self, Args, TcpVariant};
+use transport::TransportKind;
+use workload::{standard_mix, FlowSizeCdf};
+
+fn main() {
+    let args = Args::parse();
+    let cdf = FlowSizeCdf::web_search();
+    let mut rows = Vec::new();
+
+    runner::print_header(
+        "Figure 7a: timeouts per 1k flows (lossy network)",
+        &["TO/1k", "imp loss rate"],
+    );
+    for kind in [TransportKind::Dctcp, TransportKind::Tcp] {
+        for v in TcpVariant::ALL {
+            let p = args.mix();
+            let r = runner::run_scheme(
+                format!("{} {}", kind.name(), v.label()),
+                args.seeds,
+                |_s| runner::tcp_cfg(&p, kind, v, false),
+                |s| {
+                    let mut mp = p;
+                    mp.seed = s;
+                    standard_mix(&cdf, mp)
+                },
+            );
+            runner::print_row(&r.name, &[&r.timeouts_per_1k, &r.important_loss]);
+            rows.push(vec![
+                r.name.clone(),
+                format!("{:.3}", r.timeouts_per_1k.mean()),
+                format!("{:.3e}", r.important_loss.mean()),
+                String::new(),
+                String::new(),
+            ]);
+        }
+    }
+
+    runner::print_header(
+        "Figure 7b/7c: PAUSE frames and paused time (PFC network)",
+        &["PAUSE/1k", "pause frac", "TO/1k"],
+    );
+    for (kind, tlt) in [
+        (TransportKind::Dctcp, false),
+        (TransportKind::Dctcp, true),
+        (TransportKind::Tcp, false),
+        (TransportKind::Tcp, true),
+    ] {
+        let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+        let p = args.mix();
+        let r = runner::run_scheme(
+            format!("{}+PFC{}", kind.name(), if tlt { "+TLT" } else { "" }),
+            args.seeds,
+            |_s| runner::tcp_cfg(&p, kind, v, true),
+            |s| {
+                let mut mp = p;
+                mp.seed = s;
+                standard_mix(&cdf, mp)
+            },
+        );
+        runner::print_row(&r.name, &[&r.pause_per_1k, &r.pause_frac, &r.timeouts_per_1k]);
+        rows.push(vec![
+            r.name.clone(),
+            format!("{:.3}", r.timeouts_per_1k.mean()),
+            String::new(),
+            format!("{:.3}", r.pause_per_1k.mean()),
+            format!("{:.5}", r.pause_frac.mean()),
+        ]);
+    }
+
+    runner::maybe_csv(
+        &args,
+        &["scheme", "timeouts_per_1k", "important_loss", "pause_per_1k", "pause_frac"],
+        &rows,
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 8: sensitivity to the color-aware dropping threshold K.
+//!
+//! DCTCP + TLT under the standard mix, sweeping K from 200 kB to 1 MB,
+//! without (panel a) and with (panel b) PFC. The paper: without PFC a
+//! larger K raises fg tail FCT but lowers bg FCT; beyond ~700 kB important
+//! drops start costing timeouts. With PFC, both rise as PAUSE becomes
+//! frequent, until extreme HoL blocking reverses the fg trend.
+
+use bench::runner::{self, Args, TcpVariant};
+use transport::TransportKind;
+use workload::{standard_mix, FlowSizeCdf};
+
+fn main() {
+    let args = Args::parse();
+    let cdf = FlowSizeCdf::web_search();
+    let mut rows = Vec::new();
+
+    for pfc in [false, true] {
+        runner::print_header(
+            &format!(
+                "Figure 8{}: K sweep (DCTCP+TLT{})",
+                if pfc { "b" } else { "a" },
+                if pfc { "+PFC" } else { "" }
+            ),
+            &["fg p99.9 (ms)", "bg avg (ms)", "imp loss", "PAUSE/1k"],
+        );
+        for k in [200u64, 300, 400, 500, 600, 700, 800, 900, 1000] {
+            let p = args.mix();
+            let r = runner::run_scheme(
+                format!("K={k}kB"),
+                args.seeds,
+                |_s| {
+                    let mut cfg =
+                        runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, pfc);
+                    cfg.switch.color_threshold = Some(k * 1000);
+                    cfg
+                },
+                |s| {
+                    let mut mp = p;
+                    mp.seed = s;
+                    standard_mix(&cdf, mp)
+                },
+            );
+            runner::print_row(
+                &r.name,
+                &[&r.fg_p999_ms, &r.bg_avg_ms, &r.important_loss, &r.pause_per_1k],
+            );
+            rows.push(vec![
+                format!("{}", pfc),
+                format!("{k}"),
+                format!("{:.4}", r.fg_p999_ms.mean()),
+                format!("{:.4}", r.bg_avg_ms.mean()),
+                format!("{:.3e}", r.important_loss.mean()),
+                format!("{:.3}", r.pause_per_1k.mean()),
+            ]);
+        }
+    }
+    runner::maybe_csv(
+        &args,
+        &["pfc", "k_kb", "fg_p999_ms", "bg_avg_ms", "important_loss", "pause_per_1k"],
+        &rows,
+    );
+}

@@ -1,0 +1,60 @@
+//! Figure 9: sensitivity to network load (10%–60%).
+//!
+//! HPCC+PFC ± TLT and DCTCP+PFC ± TLT. The paper: TLT keeps HPCC's fg tail
+//! low at every load and improves bg FCT more at higher loads (51.9% at
+//! 60%); for DCTCP, TLT helps below ~50% load but the retransmission
+//! penalty overtakes the HoL-blocking penalty beyond it.
+
+use bench::runner::{self, Args, TcpVariant};
+use transport::TransportKind;
+use workload::{standard_mix, FlowSizeCdf};
+
+fn main() {
+    let args = Args::parse();
+    let cdf = FlowSizeCdf::web_search();
+    let mut rows = Vec::new();
+
+    for (panel, kind) in [("a: HPCC+PFC", TransportKind::Hpcc), ("b: DCTCP+PFC", TransportKind::Dctcp)] {
+        runner::print_header(
+            &format!("Figure 9{panel} load sweep"),
+            &["fg p99 (ms)", "bg avg (ms)", "PAUSE/1k"],
+        );
+        for load in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+            for tlt in [false, true] {
+                let mut p = args.mix();
+                p.load = load;
+                let r = runner::run_scheme(
+                    format!("load={load:.1}{}", if tlt { " +TLT" } else { "" }),
+                    args.seeds,
+                    |_s| {
+                        if kind.is_roce() {
+                            runner::roce_cfg(&p, kind, tlt, true)
+                        } else {
+                            let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+                            runner::tcp_cfg(&p, kind, v, true)
+                        }
+                    },
+                    |s| {
+                        let mut mp = p;
+                        mp.seed = s;
+                        standard_mix(&cdf, mp)
+                    },
+                );
+                runner::print_row(&r.name, &[&r.fg_p99_ms, &r.bg_avg_ms, &r.pause_per_1k]);
+                rows.push(vec![
+                    kind.name().to_string(),
+                    format!("{load:.1}"),
+                    format!("{tlt}"),
+                    format!("{:.4}", r.fg_p99_ms.mean()),
+                    format!("{:.4}", r.bg_avg_ms.mean()),
+                    format!("{:.3}", r.pause_per_1k.mean()),
+                ]);
+            }
+        }
+    }
+    runner::maybe_csv(
+        &args,
+        &["transport", "load", "tlt", "fg_p99_ms", "bg_avg_ms", "pause_per_1k"],
+        &rows,
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 10: fraction of packets marked important vs foreground share.
+//!
+//! DCTCP + TLT, foreground incast ratio swept 0–20% of volume. The paper:
+//! only ~3.3% of packets are important with no foreground traffic, rising
+//! with the incast share (short flows mark a higher fraction, and
+//! congestion shrinks windows).
+
+use bench::runner::{self, Args, TcpVariant};
+use transport::TransportKind;
+use workload::{standard_mix, FlowSizeCdf};
+
+fn main() {
+    let args = Args::parse();
+    let cdf = FlowSizeCdf::web_search();
+    let mut rows = Vec::new();
+
+    runner::print_header(
+        "Figure 10: important-packet fraction vs fg share (DCTCP+TLT)",
+        &["important frac", "fg p99.9 (ms)"],
+    );
+    for fg_pct in [0.0, 0.05, 0.10, 0.15, 0.20] {
+        let mut p = args.mix();
+        p.fg_fraction = fg_pct;
+        let r = runner::run_scheme(
+            format!("fg={:.0}%", fg_pct * 100.0),
+            args.seeds,
+            |_s| runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, false),
+            |s| {
+                let mut mp = p;
+                mp.seed = s;
+                standard_mix(&cdf, mp)
+            },
+        );
+        runner::print_row(&r.name, &[&r.important_frac, &r.fg_p999_ms]);
+        rows.push(vec![
+            format!("{fg_pct:.2}"),
+            format!("{:.4}", r.important_frac.mean()),
+            format!("{:.4}", r.fg_p999_ms.mean()),
+        ]);
+    }
+    runner::maybe_csv(&args, &["fg_fraction", "important_frac", "fg_p999_ms"], &rows);
+}

@@ -1,0 +1,79 @@
+//! Figure 11: (a) important fraction vs the color threshold K;
+//! (b) queue occupancy with and without TLT.
+//!
+//! DCTCP under the standard mix. The paper: with K = 400 kB, 5.9% of
+//! packets are important (smaller K ⇒ more red drops ⇒ more important
+//! retransmissions); vanilla DCTCP's max queue reaches 2.18 MB under
+//! bursty arrivals while TLT caps the total ~23% lower and keeps the
+//! median near 130 kB, under the ECN threshold.
+
+use bench::runner::{self, Args, TcpVariant};
+use eventsim::SimTime;
+use transport::TransportKind;
+use workload::{standard_mix, FlowSizeCdf};
+
+fn main() {
+    let args = Args::parse();
+    let cdf = FlowSizeCdf::web_search();
+    let mut rows = Vec::new();
+
+    runner::print_header(
+        "Figure 11a: important fraction vs K (DCTCP+TLT)",
+        &["important frac"],
+    );
+    for k in [200u64, 300, 400, 500, 600] {
+        let p = args.mix();
+        let r = runner::run_scheme(
+            format!("K={k}kB"),
+            args.seeds,
+            |_s| {
+                let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, false);
+                cfg.switch.color_threshold = Some(k * 1000);
+                cfg
+            },
+            |s| {
+                let mut mp = p;
+                mp.seed = s;
+                standard_mix(&cdf, mp)
+            },
+        );
+        runner::print_row(&r.name, &[&r.important_frac]);
+        rows.push(vec![
+            "11a".into(),
+            format!("{k}"),
+            format!("{:.4}", r.important_frac.mean()),
+            String::new(),
+        ]);
+    }
+
+    runner::print_header(
+        "Figure 11b: queue occupancy (DCTCP vs DCTCP+TLT)",
+        &["max q (kB)", "median q (kB)"],
+    );
+    for tlt in [false, true] {
+        let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+        let p = args.mix();
+        let r = runner::run_scheme(
+            format!("DCTCP{}", if tlt { "+TLT" } else { "" }),
+            args.seeds,
+            |_s| {
+                let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, v, false);
+                cfg.queue_sample_every = Some(SimTime::from_us(20));
+                cfg
+            },
+            |s| {
+                let mut mp = p;
+                mp.seed = s;
+                standard_mix(&cdf, mp)
+            },
+        );
+        runner::print_row(&r.name, &[&r.max_queue_kb, &r.median_queue_kb]);
+        rows.push(vec![
+            "11b".into(),
+            r.name.clone(),
+            format!("{:.1}", r.max_queue_kb.mean()),
+            format!("{:.1}", r.median_queue_kb.mean()),
+        ]);
+    }
+    runner::maybe_csv(&args, &["panel", "scheme_or_k", "value1", "value2"], &rows);
+}

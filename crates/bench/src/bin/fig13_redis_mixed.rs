@@ -1,0 +1,42 @@
+//! Figure 13: in-memory cache with mixed traffic.
+//!
+//! 152 foreground 32 kB SETs from 8 web servers compete with one 8 MB
+//! background flow into the same cache node. The paper: DCTCP's fg p99 FCT
+//! reaches 11.3 ms; DCTCP+TLT achieves 3.39 ms (−71.2%) at the cost of a
+//! 5.6% background-goodput dip.
+
+use bench::runner::{self, Args, TcpVariant};
+use dcsim::{small_single_switch, SimConfig};
+use transport::TransportKind;
+use workload::cache_mixed;
+
+fn cfg(tlt: bool) -> SimConfig {
+    let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+    let p = workload::MixParams::reduced(1);
+    runner::tcp_cfg(&p, TransportKind::Dctcp, v, false).with_topology(small_single_switch(10))
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut rows = Vec::new();
+    runner::print_header(
+        "Figure 13: 152 x 32kB SETs + 8MB bulk flow (DCTCP)",
+        &["fg p99 (ms)", "bg gbps", "TO/1k"],
+    );
+    for tlt in [false, true] {
+        let r = runner::run_scheme(
+            format!("DCTCP{}", if tlt { "+TLT" } else { "" }),
+            args.seeds.max(4), // the paper averages four runs
+            |_s| cfg(tlt),
+            |s| cache_mixed(152, 8, 32_000, 8_000_000, s),
+        );
+        runner::print_row(&r.name, &[&r.fg_p99_ms, &r.bg_goodput_gbps, &r.timeouts_per_1k]);
+        rows.push(vec![
+            r.name.clone(),
+            format!("{:.4}", r.fg_p99_ms.mean()),
+            format!("{:.4}", r.bg_goodput_gbps.mean()),
+            format!("{:.3}", r.timeouts_per_1k.mean()),
+        ]);
+    }
+    runner::maybe_csv(&args, &["scheme", "fg_p99_ms", "bg_goodput_gbps", "timeouts_per_1k"], &rows);
+}

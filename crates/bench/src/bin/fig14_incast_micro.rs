@@ -1,0 +1,90 @@
+//! Figure 14: the incast microbenchmark.
+//!
+//! A client pulls 32 kB from each of up to 200 connections spread over 8
+//! servers; all responses start synchronized. Panels (a)/(b): 99% FCT vs
+//! fan-out for TCP / DCTCP with 4 ms RTO_min, 200 μs RTO_min, and TLT.
+//! Panel (c): the FCT CDF at 100 flows. The paper: both baselines hit the
+//! timeout cliff; TLT absorbs ≥4× higher fan-in with no timeouts at all
+//! and cuts p99 FCT by up to 97.2%.
+
+use bench::runner::{self, Args, TcpVariant};
+use dcsim::{small_single_switch, Engine, SimConfig};
+use netstats::{summarize_flows, Samples};
+use transport::TransportKind;
+use workload::incast_burst;
+
+fn cfg(kind: TransportKind, v: TcpVariant) -> SimConfig {
+    let p = workload::MixParams::reduced(1);
+    runner::tcp_cfg(&p, kind, v, false).with_topology(small_single_switch(9))
+}
+
+fn main() {
+    let args = Args::parse();
+    let variants = [TcpVariant::Baseline, TcpVariant::Us200, TcpVariant::Tlt];
+    let counts: Vec<usize> = if args.quick {
+        vec![40, 120]
+    } else {
+        vec![20, 40, 60, 80, 100, 120, 160, 200]
+    };
+    let mut rows = Vec::new();
+
+    for kind in [TransportKind::Tcp, TransportKind::Dctcp] {
+        runner::print_header(
+            &format!("Figure 14: 99% FCT (ms) vs #flows, {}", kind.name()),
+            &["4ms", "200us", "TLT"],
+        );
+        for &n in &counts {
+            let mut line = format!("{n:<28}");
+            let mut row = vec![kind.name().to_string(), n.to_string()];
+            for v in variants {
+                let r = runner::run_scheme(
+                    "",
+                    args.seeds,
+                    |_s| cfg(kind, v),
+                    |s| incast_burst(n, 8, 32_000, s),
+                );
+                line.push_str(&format!(
+                    "{:>10.3}±{:<5.3}",
+                    r.fg_p99_ms.mean(),
+                    r.fg_p99_ms.std()
+                ));
+                row.push(format!("{:.4}", r.fg_p99_ms.mean()));
+            }
+            println!("{line}");
+            rows.push(row);
+        }
+    }
+
+    // Panel (c): CDF of FCT at 100 flows, TCP.
+    println!("\n== Figure 14c: FCT CDF at 100 flows (TCP) ==");
+    for v in variants {
+        let mut fcts = Samples::new();
+        for seed in 1..=args.seeds {
+            let res = Engine::new(
+                cfg(TransportKind::Tcp, v).with_seed(seed),
+                incast_burst(100, 8, 32_000, seed),
+            )
+            .run();
+            let s = summarize_flows(res.flows.iter(), |f| f.fg);
+            let _ = s;
+            for f in &res.flows {
+                if let Some(fct) = f.fct() {
+                    fcts.push(fct.as_secs_f64() * 1e3);
+                }
+            }
+        }
+        println!(
+            "{:>8}: p50={:8.3}ms p90={:8.3}ms p99={:8.3}ms max={:8.3}ms",
+            v.label(),
+            fcts.percentile(50.0),
+            fcts.percentile(90.0),
+            fcts.percentile(99.0),
+            fcts.max()
+        );
+    }
+    runner::maybe_csv(
+        &args,
+        &["transport", "flows", "p99_4ms", "p99_200us", "p99_tlt"],
+        &rows,
+    );
+}

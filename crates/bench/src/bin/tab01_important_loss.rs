@@ -1,0 +1,52 @@
+//! Table 1: important-packet loss rate vs the color threshold.
+//!
+//! (DC)TCP + TLT with K ∈ {400, 500, 600 kB} and foreground share ∈
+//! {5%, 10%}. The paper: zero important drops at K = 400 kB for DCTCP; a
+//! larger K leaves less reserved room, so the rate climbs (to 3.49e-3 at
+//! 600 kB / 10% for DCTCP) — and TCP, which keeps deeper queues, loses
+//! slightly more.
+
+use bench::runner::{self, Args, TcpVariant};
+use transport::TransportKind;
+use workload::{standard_mix, FlowSizeCdf};
+
+fn main() {
+    let args = Args::parse();
+    let cdf = FlowSizeCdf::web_search();
+    let mut rows = Vec::new();
+
+    runner::print_header(
+        "Table 1: important-packet loss rate",
+        &["K=400kB", "K=500kB", "K=600kB"],
+    );
+    for kind in [TransportKind::Dctcp, TransportKind::Tcp] {
+        for fg in [0.05, 0.10] {
+            let mut line = format!("{:<28}", format!("{}+TLT fg={:.0}%", kind.name(), fg * 100.0));
+            let mut row = vec![kind.name().to_string(), format!("{fg:.2}")];
+            for k in [400u64, 500, 600] {
+                let mut p = args.mix();
+                p.fg_fraction = fg;
+                let r = runner::run_scheme(
+                    "",
+                    args.seeds,
+                    |_s| {
+                        let mut cfg =
+                            runner::tcp_cfg(&p, kind, TcpVariant::Tlt, false);
+                        cfg.switch.color_threshold = Some(k * 1000);
+                        cfg
+                    },
+                    |s| {
+                        let mut mp = p;
+                        mp.seed = s;
+                        standard_mix(&cdf, mp)
+                    },
+                );
+                line.push_str(&format!("{:>16.3e}", r.important_loss.mean()));
+                row.push(format!("{:.3e}", r.important_loss.mean()));
+            }
+            println!("{line}");
+            rows.push(row);
+        }
+    }
+    runner::maybe_csv(&args, &["transport", "fg_fraction", "k400", "k500", "k600"], &rows);
+}

@@ -1,0 +1,17 @@
+//! Benchmark harness for regenerating the TLT paper's tables and figures.
+//!
+//! Each `fig*`/`tab*` binary reproduces one table or figure of the paper's
+//! evaluation (§7 and Appendix B); the shared [`runner`] module provides
+//! argument parsing (`--full`, `--quick`, `--seeds N`, `--out file.csv`),
+//! the scheme/variant builders, multi-seed execution, and paper-style table
+//! printing. DESIGN.md carries the experiment index; EXPERIMENTS.md records
+//! paper-vs-measured values.
+//!
+//! Run any experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig05_tcp_family
+//! cargo run --release -p bench --bin fig05_tcp_family -- --full --seeds 5
+//! ```
+
+pub mod runner;

@@ -1,0 +1,275 @@
+//! Shared experiment plumbing: CLI arguments, scheme variants, multi-seed
+//! execution, and table printing.
+
+use dcsim::{Engine, FlowSpec, SimConfig};
+use eventsim::SimTime;
+use netsim::topology::TopologySpec;
+use netsim::LinkSpec;
+use netstats::{summarize_flows, FctSummary, Metric};
+use transport::{RtoMode, TransportKind};
+use workload::MixParams;
+
+/// Command-line options common to every experiment binary.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Paper-scale parameters (96 hosts, 10 k background flows). Slow.
+    pub full: bool,
+    /// Smallest credible scale, for smoke runs.
+    pub quick: bool,
+    /// Number of seeds to average over.
+    pub seeds: u64,
+    /// Optional CSV output path.
+    pub out: Option<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`. Unknown flags abort with usage help.
+    pub fn parse() -> Args {
+        let mut args = Args {
+            full: false,
+            quick: false,
+            seeds: 3,
+            out: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => args.full = true,
+                "--quick" => args.quick = true,
+                "--seeds" => {
+                    args.seeds = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seeds needs a number"));
+                }
+                "--out" => {
+                    args.out = Some(it.next().unwrap_or_else(|| usage("--out needs a path")));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        if args.quick {
+            args.seeds = args.seeds.min(1);
+        }
+        args
+    }
+
+    /// The standard-mix parameters for this scale.
+    pub fn mix(&self) -> MixParams {
+        if self.full {
+            MixParams::paper()
+        } else if self.quick {
+            MixParams::reduced(100)
+        } else {
+            MixParams::reduced(400)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <experiment> [--full] [--quick] [--seeds N] [--out file.csv]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+/// The leaf–spine topology matching a [`MixParams`] instance, with the
+/// paper's per-family link latency (10 μs TCP, 1 μs RoCE).
+pub fn mix_topology(p: &MixParams, roce: bool) -> TopologySpec {
+    let delay = if roce {
+        SimTime::from_us(1)
+    } else {
+        SimTime::from_us(10)
+    };
+    let link = LinkSpec::new(p.link_bw_bps, delay);
+    TopologySpec::LeafSpine {
+        cores: p.cores,
+        tors: p.tors,
+        hosts_per_tor: p.hosts / p.tors,
+        host_link: link,
+        fabric_link: link,
+    }
+}
+
+/// Loss-recovery variants of the TCP family compared in Figures 5/7/15.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TcpVariant {
+    /// 4 ms RTO_min (Linux default).
+    Baseline,
+    /// Baseline plus Tail Loss Probe.
+    Tlp,
+    /// 200 μs RTO_min (high-resolution timers \[54\]).
+    Us200,
+    /// TLT.
+    Tlt,
+}
+
+impl TcpVariant {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [TcpVariant; 4] = [
+        TcpVariant::Baseline,
+        TcpVariant::Tlp,
+        TcpVariant::Us200,
+        TcpVariant::Tlt,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TcpVariant::Baseline => "base",
+            TcpVariant::Tlp => "+TLP",
+            TcpVariant::Us200 => "200us",
+            TcpVariant::Tlt => "+TLT",
+        }
+    }
+}
+
+/// Builds a TCP-family config for `kind` under `variant`, scaled to the
+/// mix's topology.
+pub fn tcp_cfg(p: &MixParams, kind: TransportKind, variant: TcpVariant, pfc: bool) -> SimConfig {
+    let mut cfg = SimConfig::tcp_family(kind).with_topology(mix_topology(p, false));
+    match variant {
+        TcpVariant::Baseline => {}
+        TcpVariant::Tlp => cfg.tlp = true,
+        TcpVariant::Us200 => {
+            cfg.rto = RtoMode::microsecond();
+        }
+        TcpVariant::Tlt => cfg = cfg.with_tlt(),
+    }
+    if pfc {
+        cfg = cfg.with_pfc();
+    }
+    cfg
+}
+
+/// Builds a RoCE-family config, optionally with TLT and/or PFC.
+pub fn roce_cfg(p: &MixParams, kind: TransportKind, tlt: bool, pfc: bool) -> SimConfig {
+    let mut cfg = SimConfig::roce_family(kind).with_topology(mix_topology(p, true));
+    if tlt {
+        cfg = cfg.with_tlt();
+    }
+    if pfc {
+        cfg = cfg.with_pfc();
+    }
+    cfg
+}
+
+/// The outcome of one simulation, pre-summarized.
+pub struct MixOutcome {
+    /// Foreground-flow FCT summary.
+    pub fg: FctSummary,
+    /// Background-flow FCT summary.
+    pub bg: FctSummary,
+    /// Engine aggregates.
+    pub agg: dcsim::AggregateStats,
+}
+
+/// Runs one simulation and summarizes it.
+pub fn run_once(cfg: SimConfig, flows: Vec<FlowSpec>) -> MixOutcome {
+    let res = Engine::new(cfg, flows).run();
+    MixOutcome {
+        fg: summarize_flows(res.flows.iter(), |f| f.fg),
+        bg: summarize_flows(res.flows.iter(), |f| !f.fg),
+        agg: res.agg,
+    }
+}
+
+/// Cross-seed metrics of one scheme (one bar/line of a figure).
+#[derive(Clone, Debug, Default)]
+pub struct SchemeResult {
+    /// Scheme label.
+    pub name: String,
+    /// Foreground 99.9th-percentile FCT (ms).
+    pub fg_p999_ms: Metric,
+    /// Foreground 99th-percentile FCT (ms).
+    pub fg_p99_ms: Metric,
+    /// Background average FCT (ms).
+    pub bg_avg_ms: Metric,
+    /// Background goodput (Gbps).
+    pub bg_goodput_gbps: Metric,
+    /// Timeouts per 1 k flows (all flows).
+    pub timeouts_per_1k: Metric,
+    /// PFC PAUSE frames per 1 k flows.
+    pub pause_per_1k: Metric,
+    /// Mean fraction of time a (paused-at-least-once) link was paused.
+    pub pause_frac: Metric,
+    /// Fraction of data packets marked important.
+    pub important_frac: Metric,
+    /// Important-packet loss rate at switches.
+    pub important_loss: Metric,
+    /// Payload bytes injected by important ACK-clocking.
+    pub clocking_kb: Metric,
+    /// Largest egress queue observed (kB).
+    pub max_queue_kb: Metric,
+    /// Median of the sampled deepest-queue series (kB).
+    pub median_queue_kb: Metric,
+}
+
+impl SchemeResult {
+    /// Folds one run's outcome in.
+    pub fn add(&mut self, o: &MixOutcome) {
+        let total_flows = (o.fg.count + o.bg.count).max(1) as f64;
+        self.fg_p999_ms.add(o.fg.p999 * 1e3);
+        self.fg_p99_ms.add(o.fg.p99 * 1e3);
+        self.bg_avg_ms.add(o.bg.avg * 1e3);
+        self.bg_goodput_gbps.add(o.bg.goodput_bps / 1e9);
+        self.timeouts_per_1k
+            .add(o.agg.timeouts as f64 * 1000.0 / total_flows);
+        self.pause_per_1k
+            .add(o.agg.pause_frames as f64 * 1000.0 / total_flows);
+        self.pause_frac.add(o.agg.link_pause_fraction);
+        self.important_frac.add(o.agg.important_fraction());
+        self.important_loss.add(o.agg.important_loss_rate());
+        self.clocking_kb.add(o.agg.clocking_bytes as f64 / 1e3);
+        self.max_queue_kb.add(o.agg.max_queue_bytes as f64 / 1e3);
+        let mut qs = o.agg.queue_samples.clone();
+        self.median_queue_kb.add(qs.percentile(50.0) / 1e3);
+    }
+}
+
+/// Runs `scheme` over `seeds` seeds of the standard mix and aggregates.
+pub fn run_scheme(
+    name: impl Into<String>,
+    seeds: u64,
+    make_cfg: impl Fn(u64) -> SimConfig,
+    make_flows: impl Fn(u64) -> Vec<FlowSpec>,
+) -> SchemeResult {
+    let mut r = SchemeResult {
+        name: name.into(),
+        ..SchemeResult::default()
+    };
+    for seed in 1..=seeds {
+        let o = run_once(make_cfg(seed).with_seed(seed), make_flows(seed));
+        r.add(&o);
+    }
+    r
+}
+
+/// Prints a header line for a paper-style table.
+pub fn print_header(title: &str, cols: &[&str]) {
+    println!("\n== {title} ==");
+    print!("{:<28}", "scheme");
+    for c in cols {
+        print!("{c:>16}");
+    }
+    println!();
+}
+
+/// Prints one row, `mean ±std` per metric.
+pub fn print_row(name: &str, metrics: &[&Metric]) {
+    print!("{name:<28}");
+    for m in metrics {
+        print!("{:>10.3}±{:<5.3}", m.mean(), m.std());
+    }
+    println!();
+}
+
+/// Writes scheme rows to CSV if `--out` was given.
+pub fn maybe_csv(args: &Args, headers: &[&str], rows: &[Vec<String>]) {
+    if let Some(path) = &args.out {
+        netstats::write_csv(path, headers, rows).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,898 @@
+//! The event loop.
+
+use std::collections::HashMap;
+
+use eventsim::{EventQueue, SimTime};
+use netsim::packet::{Direction, FlowId, Packet};
+use netsim::switch::{PfcConfig, PfcSignal, Switch, SwitchConfig};
+use netsim::topology::{Hop, NodeId, NodeKind, PortId, Topology};
+use netstats::{FlowRecord, Samples};
+use transport::cc::{Dctcp, Hpcc, NewReno};
+use transport::iface::{Action, Ctx, FlowReceiver, FlowSender, TimerKind, TltMode};
+use transport::roce::{RoceCfg, RoceReceiver, RoceRecovery, RoceSender};
+use transport::tcp::{TcpReceiver, WindowCfg, WindowSender};
+use transport::TransportKind;
+use tlt_core::{RateTltConfig, WindowTltConfig};
+
+use crate::config::{FlowSpec, SimConfig};
+
+/// Aggregate counters of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct AggregateStats {
+    /// Retransmission timeouts summed over all flows.
+    pub timeouts: u64,
+    /// Fast (and NACK/go-back-N) retransmissions summed over all flows.
+    pub fast_retx: u64,
+    /// Data packets sent by all flows.
+    pub data_pkts_sent: u64,
+    /// Data packets marked important.
+    pub important_pkts: u64,
+    /// Data packets left unimportant.
+    pub unimportant_pkts: u64,
+    /// Important ACK-clocking packets / bytes.
+    pub clocking_pkts: u64,
+    /// Payload bytes injected by important ACK-clocking (Figure 17b).
+    pub clocking_bytes: u64,
+    /// Red packets proactively dropped at the color threshold.
+    pub drops_color: u64,
+    /// Congestion (dynamic-threshold) drops.
+    pub drops_dt: u64,
+    /// Buffer-exhaustion drops.
+    pub drops_overflow: u64,
+    /// Important (green) data packets dropped (Table 1 numerator).
+    pub drops_green_data: u64,
+    /// Green data packets admitted (Table 1 denominator).
+    pub green_data_pkts: u64,
+    /// Packets CE-marked by switches.
+    pub ce_marked: u64,
+    /// PFC PAUSE frames emitted by switches (Figure 7b).
+    pub pause_frames: u64,
+    /// Mean fraction of time an egress link spent paused (Figure 7c),
+    /// averaged over links that were paused at least once.
+    pub link_pause_fraction: f64,
+    /// Largest single egress queue observed anywhere (Figure 11b).
+    pub max_queue_bytes: u64,
+    /// Periodic samples of the deepest egress queue (Figure 11b median).
+    pub queue_samples: Samples,
+    /// RTT samples pooled across foreground flows (Figure 1).
+    pub fg_rtt: Samples,
+    /// RTT samples pooled across background flows (Figure 1).
+    pub bg_rtt: Samples,
+    /// Per-flow maximum estimated RTO, foreground (Figure 1).
+    pub fg_rto: Samples,
+    /// Per-flow maximum estimated RTO, background (Figure 1).
+    pub bg_rto: Samples,
+    /// Segment delivery times (Figure 16), when collection was enabled.
+    pub delivery: Samples,
+    /// Packets lost to injected wire corruption (non-congestion losses).
+    pub wire_drops: u64,
+    /// Wall time the simulation covered.
+    pub duration: SimTime,
+}
+
+impl AggregateStats {
+    /// Loss rate of important (green) data packets at switches (Table 1).
+    pub fn important_loss_rate(&self) -> f64 {
+        let denom = self.green_data_pkts + self.drops_green_data;
+        if denom == 0 {
+            0.0
+        } else {
+            self.drops_green_data as f64 / denom as f64
+        }
+    }
+
+    /// Fraction of data packets marked important (Figures 10, 11a).
+    pub fn important_fraction(&self) -> f64 {
+        let total = self.important_pkts + self.unimportant_pkts;
+        if total == 0 {
+            0.0
+        } else {
+            self.important_pkts as f64 / total as f64
+        }
+    }
+}
+
+/// The outcome of a run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Per-flow records (same order as the input specs).
+    pub flows: Vec<FlowRecord>,
+    /// Aggregate counters.
+    pub agg: AggregateStats,
+}
+
+enum Event {
+    FlowStart(u32),
+    TxDone {
+        node: NodeId,
+        port: PortId,
+    },
+    Deliver {
+        to: NodeId,
+        in_port: PortId,
+        pkt: Packet,
+    },
+    Timer {
+        flow: u32,
+        kind: TimerKind,
+        gen: u64,
+    },
+    PfcSet {
+        node: NodeId,
+        port: PortId,
+        pause: bool,
+    },
+    QueueSample,
+}
+
+#[derive(Clone, Copy, Default)]
+struct PortState {
+    busy: bool,
+    paused: bool,
+    paused_since: SimTime,
+    paused_total: SimTime,
+    ever_paused: bool,
+}
+
+struct FlowRuntime {
+    spec: FlowSpec,
+    src: NodeId,
+    dst: NodeId,
+    path_fwd: Vec<Hop>,
+    path_rev: Vec<Hop>,
+    sender: Box<dyn FlowSender>,
+    receiver: Box<dyn FlowReceiver>,
+    timer_gen: HashMap<TimerKind, u64>,
+    complete_at: Option<SimTime>,
+}
+
+/// The simulation engine. See the crate docs for an end-to-end example.
+pub struct Engine {
+    cfg: SimConfig,
+    topo: Topology,
+    switches: Vec<Option<Switch>>,
+    ports: Vec<Vec<PortState>>,
+    host_q: Vec<std::collections::VecDeque<Packet>>,
+    flows: Vec<FlowRuntime>,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    actions: Vec<Action>,
+    base_rtt: SimTime,
+    bdp: u64,
+    wire_rng: eventsim::SimRng,
+    wire_drops: u64,
+}
+
+impl Engine {
+    /// Builds an engine for `cfg` over the given flows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow references a host index that does not exist or has
+    /// `src == dst`.
+    pub fn new(cfg: SimConfig, specs: Vec<FlowSpec>) -> Engine {
+        let topo = cfg.topology.build();
+        let hosts = topo.hosts().to_vec();
+        let n_nodes = topo.node_count();
+
+        // Per-node switch instances.
+        let mut switches: Vec<Option<Switch>> = Vec::with_capacity(n_nodes);
+        for n in 0..n_nodes {
+            let node = NodeId(n as u32);
+            if topo.kind(node) == NodeKind::Switch {
+                let ports = topo.port_count(node);
+                let sw_cfg = SwitchConfig {
+                    ports,
+                    total_buffer: cfg.switch.buffer_bytes,
+                    alpha: cfg.switch.alpha,
+                    color_threshold: cfg.switch.color_threshold,
+                    ecn: cfg.switch.ecn,
+                    pfc: cfg
+                        .pfc
+                        .then(|| PfcConfig::derive(cfg.switch.buffer_bytes, ports)),
+                    int_enabled: cfg.transport == TransportKind::Hpcc,
+                    port_rate_bps: topo.link_from(node, PortId(0)).1.spec.bandwidth_bps,
+                };
+                switches.push(Some(Switch::new(sw_cfg, cfg.seed ^ (n as u64) << 17)));
+            } else {
+                switches.push(None);
+            }
+        }
+
+        let ports = (0..n_nodes)
+            .map(|n| vec![PortState::default(); topo.port_count(NodeId(n as u32))])
+            .collect();
+        let host_q = (0..n_nodes)
+            .map(|_| std::collections::VecDeque::new())
+            .collect();
+
+        // Base RTT: twice the one-way delay of the longest path plus a
+        // handful of serialization times — we use the pure propagation
+        // figure the paper quotes (e.g. 80 μs for 4 hops at 10 μs).
+        let max_hops = match cfg.topology {
+            netsim::topology::TopologySpec::LeafSpine { .. } => 4,
+            netsim::topology::TopologySpec::Dumbbell { .. } => 3,
+            netsim::topology::TopologySpec::SingleSwitch { .. } => 2,
+        };
+        let link = topo.link_from(hosts[0], PortId(0)).1.spec;
+        let base_rtt = cfg
+            .base_rtt
+            .unwrap_or(SimTime::from_ns(2 * max_hops * link.delay.as_ns()));
+        let bdp = link.bdp_bytes(base_rtt).max(u64::from(cfg.mss) * 4);
+
+        let mut queue = EventQueue::with_capacity(specs.len() * 4 + 16);
+        let mut flows = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.into_iter().enumerate() {
+            assert_ne!(spec.src, spec.dst, "flow {i}: src == dst");
+            let src = hosts[spec.src];
+            let dst = hosts[spec.dst];
+            let hash = Topology::ecmp_hash(src, dst, i as u64 ^ cfg.seed);
+            let (path_fwd, path_rev) = topo.pin_paths(src, dst, hash);
+            let (sender, receiver) = build_transport(&cfg, FlowId(i as u32), spec.bytes, base_rtt, bdp);
+            queue.schedule(spec.start, Event::FlowStart(i as u32));
+            flows.push(FlowRuntime {
+                spec,
+                src,
+                dst,
+                path_fwd,
+                path_rev,
+                sender,
+                receiver,
+                timer_gen: HashMap::new(),
+                complete_at: None,
+            });
+        }
+        if let Some(every) = cfg.queue_sample_every {
+            queue.schedule(every, Event::QueueSample);
+        }
+
+        let wire_rng = eventsim::SimRng::seed_from(cfg.seed ^ 0x5717E_u64);
+        Engine {
+            cfg,
+            topo,
+            switches,
+            ports,
+            host_q,
+            flows,
+            queue,
+            now: SimTime::ZERO,
+            actions: Vec::new(),
+            base_rtt,
+            bdp,
+            wire_rng,
+            wire_drops: 0,
+        }
+    }
+
+    /// The base RTT the engine derived for this topology.
+    pub fn base_rtt(&self) -> SimTime {
+        self.base_rtt
+    }
+
+    /// The bandwidth-delay product in bytes.
+    pub fn bdp(&self) -> u64 {
+        self.bdp
+    }
+
+    /// Runs the simulation to completion (all flows done, events exhausted,
+    /// or the configured horizon reached) and returns the results.
+    pub fn run(mut self) -> SimResult {
+        let mut queue_samples = Samples::new();
+        let mut remaining: usize = self.flows.len();
+        let mut done_flag = vec![false; self.flows.len()];
+
+        // Incremental completion tracking: only the flow an event touched
+        // can change doneness, so the check is O(1) per event.
+        macro_rules! check_done {
+            ($f:expr) => {{
+                let i = $f as usize;
+                if !done_flag[i] {
+                    let rt = &self.flows[i];
+                    if rt.complete_at.is_some() && rt.sender.is_done() {
+                        done_flag[i] = true;
+                        remaining -= 1;
+                    }
+                }
+            }};
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.cfg.max_time {
+                break;
+            }
+            self.now = t;
+            match ev {
+                Event::FlowStart(f) => {
+                    let rt = &mut self.flows[f as usize];
+                    rt.sender.start(&mut Ctx {
+                        now: t,
+                        actions: &mut self.actions,
+                    });
+                    self.flush_actions(f);
+                    check_done!(f);
+                }
+                Event::Deliver { to, in_port, pkt } => {
+                    let f = pkt.flow.0;
+                    let endpoint = self.deliver(to, in_port, pkt);
+                    if endpoint {
+                        check_done!(f);
+                    }
+                }
+                Event::TxDone { node, port } => {
+                    self.ports[node.0 as usize][port.0 as usize].busy = false;
+                    self.kick_port(node, port);
+                }
+                Event::Timer { flow, kind, gen } => {
+                    let rt = &mut self.flows[flow as usize];
+                    if rt.timer_gen.get(&kind).copied().unwrap_or(0) == gen {
+                        rt.sender.on_timer(
+                            kind,
+                            &mut Ctx {
+                                now: t,
+                                actions: &mut self.actions,
+                            },
+                        );
+                        self.flush_actions(flow);
+                        check_done!(flow);
+                    }
+                }
+                Event::PfcSet { node, port, pause } => {
+                    let ps = &mut self.ports[node.0 as usize][port.0 as usize];
+                    if pause && !ps.paused {
+                        ps.paused = true;
+                        ps.ever_paused = true;
+                        ps.paused_since = t;
+                    } else if !pause && ps.paused {
+                        ps.paused = false;
+                        ps.paused_total += t - ps.paused_since;
+                        self.kick_port(node, port);
+                    }
+                }
+                Event::QueueSample => {
+                    let max_q = self
+                        .switches
+                        .iter()
+                        .flatten()
+                        .flat_map(|sw| {
+                            (0..sw.config().ports).map(move |p| sw.queue_bytes(PortId(p as u32)))
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    queue_samples.push(max_q as f64);
+                    if let Some(every) = self.cfg.queue_sample_every {
+                        if remaining > 0 {
+                            self.queue.schedule(t + every, Event::QueueSample);
+                        }
+                    }
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+
+        self.collect(queue_samples)
+    }
+
+    fn collect(mut self, queue_samples: Samples) -> SimResult {
+        // Close out pause accounting.
+        let end = self.now;
+        let mut pause_fracs = Vec::new();
+        for node_ports in &mut self.ports {
+            for ps in node_ports.iter_mut() {
+                if ps.paused {
+                    ps.paused_total += end - ps.paused_since;
+                    ps.paused = false;
+                }
+                if ps.ever_paused && end > SimTime::ZERO {
+                    pause_fracs.push(ps.paused_total.as_secs_f64() / end.as_secs_f64());
+                }
+            }
+        }
+
+        let mut agg = AggregateStats {
+            duration: end,
+            wire_drops: self.wire_drops,
+            queue_samples,
+            link_pause_fraction: if pause_fracs.is_empty() {
+                0.0
+            } else {
+                pause_fracs.iter().sum::<f64>() / pause_fracs.len() as f64
+            },
+            ..AggregateStats::default()
+        };
+        for sw in self.switches.iter().flatten() {
+            let s = sw.stats();
+            agg.drops_color += s.drops_color;
+            agg.drops_dt += s.drops_dt;
+            agg.drops_overflow += s.drops_overflow;
+            agg.drops_green_data += s.drops_green_data;
+            agg.green_data_pkts += s.green_data_pkts;
+            agg.ce_marked += s.ce_marked;
+            agg.pause_frames += s.pauses_sent;
+            agg.max_queue_bytes = agg.max_queue_bytes.max(s.max_queue_bytes);
+        }
+
+        let mut flows = Vec::with_capacity(self.flows.len());
+        for (i, rt) in self.flows.iter().enumerate() {
+            let st = rt.sender.stats();
+            agg.timeouts += st.timeouts;
+            agg.fast_retx += st.fast_retx;
+            agg.data_pkts_sent += st.data_pkts_sent;
+            agg.important_pkts += st.important_pkts;
+            agg.unimportant_pkts += st.unimportant_pkts;
+            agg.clocking_pkts += st.clocking_pkts;
+            agg.clocking_bytes += st.clocking_bytes;
+            let (rtt, rto) = if rt.spec.fg {
+                (&mut agg.fg_rtt, &mut agg.fg_rto)
+            } else {
+                (&mut agg.bg_rtt, &mut agg.bg_rto)
+            };
+            for s in &st.rtt_samples {
+                rtt.push(s.as_secs_f64());
+            }
+            if st.rto_max > SimTime::ZERO {
+                rto.push(st.rto_max.as_secs_f64());
+            }
+            for d in &st.delivery_samples {
+                agg.delivery.push(d.as_secs_f64());
+            }
+            flows.push(FlowRecord {
+                id: i as u32,
+                src: rt.src.0,
+                dst: rt.dst.0,
+                bytes: rt.spec.bytes,
+                start: rt.spec.start,
+                end: rt.complete_at,
+                fg: rt.spec.fg,
+                timeouts: st.timeouts,
+                retx: st.fast_retx + st.rto_retx,
+            });
+        }
+        SimResult { flows, agg }
+    }
+
+    /// Delivers a packet arriving at `to` on `in_port`. Returns `true` when
+    /// the packet reached a flow endpoint (so the caller re-checks flow
+    /// doneness).
+    fn deliver(&mut self, to: NodeId, in_port: PortId, pkt: Packet) -> bool {
+        let f = pkt.flow.0;
+        let rt = &mut self.flows[f as usize];
+        let path = match pkt.dir {
+            Direction::Fwd => &rt.path_fwd,
+            Direction::Rev => &rt.path_rev,
+        };
+        let h = pkt.hop as usize;
+        if h >= path.len() {
+            // Endpoint: hand to the transport.
+            let mut ctx = Ctx {
+                now: self.now,
+                actions: &mut self.actions,
+            };
+            match pkt.dir {
+                Direction::Fwd => {
+                    rt.receiver.on_packet(&pkt, &mut ctx);
+                    if rt.complete_at.is_none() && rt.receiver.is_complete() {
+                        rt.complete_at = Some(self.now);
+                    }
+                }
+                Direction::Rev => rt.sender.on_packet(&pkt, &mut ctx),
+            }
+            self.flush_actions(f);
+            return true;
+        }
+        // Transit switch.
+        debug_assert_eq!(path[h].node, to, "path desync");
+        let egress = path[h].port;
+        let mut pkt = pkt;
+        pkt.hop += 1;
+        let sw = self.switches[to.0 as usize]
+            .as_mut()
+            .expect("transit node must be a switch");
+        let outcome = sw.enqueue(pkt, in_port, egress, self.now);
+        if let Some(sig) = outcome.pfc {
+            self.send_pfc(to, sig);
+        }
+        if outcome.enqueued {
+            self.kick_port(to, egress);
+        }
+        false
+    }
+
+    /// Schedules a PFC pause/resume toward the device feeding `ingress`.
+    fn send_pfc(&mut self, node: NodeId, sig: PfcSignal) {
+        let (ingress, pause) = match sig {
+            PfcSignal::Pause(p) => (p, true),
+            PfcSignal::Resume(p) => (p, false),
+        };
+        let (_, rec) = self.topo.link_from(node, ingress);
+        let (up_node, up_port) = rec.to;
+        self.queue.schedule(
+            self.now + rec.spec.delay,
+            Event::PfcSet {
+                node: up_node,
+                port: up_port,
+                pause,
+            },
+        );
+    }
+
+    /// Starts transmitting on `(node, port)` if it is idle, unpaused, and
+    /// has a packet queued.
+    fn kick_port(&mut self, node: NodeId, port: PortId) {
+        let n = node.0 as usize;
+        let ps = self.ports[n][port.0 as usize];
+        if ps.busy || ps.paused {
+            return;
+        }
+        let pkt = if let Some(sw) = self.switches[n].as_mut() {
+            let (pkt, sig) = sw.dequeue(port, self.now);
+            if let Some(sig) = sig {
+                self.send_pfc(node, sig);
+            }
+            pkt
+        } else {
+            self.host_q[n].pop_front()
+        };
+        let Some(pkt) = pkt else { return };
+        let (_, rec) = self.topo.link_from(node, port);
+        let tx = rec.spec.tx_time(pkt.wire_size());
+        self.ports[n][port.0 as usize].busy = true;
+        self.queue.schedule(self.now + tx, Event::TxDone { node, port });
+        // Non-congestion (corruption) loss: the port still spends the
+        // serialization time, but the frame never arrives.
+        if self.cfg.wire_loss_rate > 0.0 && self.wire_rng.gen_bool(self.cfg.wire_loss_rate) {
+            self.wire_drops += 1;
+            return;
+        }
+        self.queue.schedule(
+            self.now + tx + rec.spec.delay,
+            Event::Deliver {
+                to: rec.to.0,
+                in_port: rec.to.1,
+                pkt,
+            },
+        );
+    }
+
+    /// Applies the actions a transport callback produced for flow `f`.
+    fn flush_actions(&mut self, f: u32) {
+        // Swap the buffer out to satisfy the borrow checker cheaply.
+        let mut actions = std::mem::take(&mut self.actions);
+        for a in actions.drain(..) {
+            match a {
+                Action::Send(mut pkt) => {
+                    let rt = &self.flows[f as usize];
+                    let origin = match pkt.dir {
+                        Direction::Fwd => rt.src,
+                        Direction::Rev => rt.dst,
+                    };
+                    pkt.hop = 1;
+                    self.host_q[origin.0 as usize].push_back(pkt);
+                    self.kick_port(origin, PortId(0));
+                }
+                Action::SetTimer { kind, at } => {
+                    let rt = &mut self.flows[f as usize];
+                    let gen = rt.timer_gen.entry(kind).or_insert(0);
+                    *gen += 1;
+                    let gen = *gen;
+                    self.queue
+                        .schedule(at.max(self.now), Event::Timer { flow: f, kind, gen });
+                }
+                Action::CancelTimer { kind } => {
+                    let rt = &mut self.flows[f as usize];
+                    *rt.timer_gen.entry(kind).or_insert(0) += 1;
+                }
+            }
+        }
+        self.actions = actions;
+    }
+}
+
+/// Instantiates the sender/receiver pair for one flow.
+fn build_transport(
+    cfg: &SimConfig,
+    flow: FlowId,
+    bytes: u64,
+    base_rtt: SimTime,
+    bdp: u64,
+) -> (Box<dyn FlowSender>, Box<dyn FlowReceiver>) {
+    let tlt_on = cfg.tlt.is_some();
+    match cfg.transport {
+        TransportKind::Tcp | TransportKind::Dctcp | TransportKind::Hpcc => {
+            let mut w = WindowCfg::new(flow, bytes);
+            w.mss = cfg.mss;
+            w.init_cwnd_pkts = cfg.init_cwnd_pkts;
+            w.rto = cfg.rto;
+            w.tlp = cfg.tlp;
+            w.ecn_capable = cfg.transport == TransportKind::Dctcp;
+            w.collect_delivery = cfg.collect_delivery;
+            if let Some(t) = cfg.tlt {
+                w.tlt = TltMode::Window(WindowTltConfig {
+                    clocking: t.clocking,
+                });
+            }
+            let rx = Box::new(TcpReceiver::new(flow, bytes, tlt_on, 8));
+            let tx: Box<dyn FlowSender> = match cfg.transport {
+                TransportKind::Tcp => {
+                    Box::new(WindowSender::new(w.clone(), NewReno::new(w.mss, w.init_cwnd_pkts)))
+                }
+                TransportKind::Dctcp => {
+                    Box::new(WindowSender::new(w.clone(), Dctcp::new(w.mss, w.init_cwnd_pkts)))
+                }
+                TransportKind::Hpcc => {
+                    Box::new(WindowSender::new(w.clone(), Hpcc::new(w.mss, base_rtt, bdp)))
+                }
+                _ => unreachable!(),
+            };
+            (tx, rx)
+        }
+        TransportKind::DcqcnGbn | TransportKind::DcqcnSack | TransportKind::DcqcnIrn => {
+            let recovery = match cfg.transport {
+                TransportKind::DcqcnGbn => RoceRecovery::GoBackN,
+                TransportKind::DcqcnSack => RoceRecovery::Selective { window_cap: None },
+                _ => RoceRecovery::Selective {
+                    window_cap: Some(bdp),
+                },
+            };
+            let mut r = RoceCfg::new(flow, bytes, recovery);
+            r.mss = cfg.mss;
+            if cfg.transport == TransportKind::DcqcnIrn {
+                // IRN's recommended RTO_high (base latency + max one-hop
+                // queueing) and RTO_low for small in-flight counts. The IRN
+                // paper uses RTO_low = 100 us; our shared-buffer queues can
+                // delay ACKs past that even for important packets, so we
+                // calibrate RTO_low to the color-threshold draining time
+                // (200 kB + important headroom at 40 Gbps ~ 250 us) to keep
+                // it aggressive without being dominated by spurious firing.
+                r.rto_high = SimTime::from_us(1930);
+                r.rto_low = Some((SimTime::from_us(300), 3));
+            }
+            if let Some(t) = cfg.tlt {
+                let every_n = if cfg.transport == TransportKind::DcqcnGbn {
+                    t.every_n
+                } else {
+                    // Selective recovery detects losses via SACK; periodic
+                    // marking is unnecessary (§5.2 note 2).
+                    None
+                };
+                r.tlt = TltMode::Rate(RateTltConfig { every_n });
+            }
+            let selective = !matches!(recovery, RoceRecovery::GoBackN);
+            let rx = Box::new(RoceReceiver::new(flow, bytes, selective, tlt_on));
+            (Box::new(RoceSender::new(r)), rx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::small_single_switch;
+
+    fn one_flow(cfg: SimConfig, bytes: u64) -> SimResult {
+        Engine::new(cfg, vec![FlowSpec::new(0, 1, bytes, SimTime::ZERO, false)]).run()
+    }
+
+    #[test]
+    fn single_dctcp_flow_completes_at_line_rate() {
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+            .with_topology(small_single_switch(2));
+        let res = one_flow(cfg, 1_000_000);
+        let fct = res.flows[0].fct().expect("completed");
+        // 1 MB at 40 Gbps is 200us of serialization + a few RTTs of
+        // slow start; anything under 2ms is sane, under 100us impossible.
+        assert!(fct > SimTime::from_us(100), "fct {fct}");
+        assert!(fct < SimTime::from_ms(3), "fct {fct}");
+        assert_eq!(res.agg.timeouts, 0);
+        assert_eq!(res.agg.drops_dt, 0);
+    }
+
+    #[test]
+    fn every_transport_completes_a_flow() {
+        for kind in [
+            TransportKind::Tcp,
+            TransportKind::Dctcp,
+            TransportKind::DcqcnGbn,
+            TransportKind::DcqcnSack,
+            TransportKind::DcqcnIrn,
+            TransportKind::Hpcc,
+        ] {
+            let base = if kind.is_roce() {
+                SimConfig::roce_family(kind)
+            } else {
+                SimConfig::tcp_family(kind)
+            };
+            let cfg = base.with_topology(small_single_switch(3));
+            let res = one_flow(cfg, 200_000);
+            assert!(
+                res.flows[0].end.is_some(),
+                "{kind:?} flow did not complete"
+            );
+            assert_eq!(res.agg.timeouts, 0, "{kind:?} timed out");
+        }
+    }
+
+    #[test]
+    fn every_transport_completes_with_tlt() {
+        for kind in [
+            TransportKind::Tcp,
+            TransportKind::Dctcp,
+            TransportKind::DcqcnGbn,
+            TransportKind::DcqcnSack,
+            TransportKind::DcqcnIrn,
+            TransportKind::Hpcc,
+        ] {
+            let base = if kind.is_roce() {
+                SimConfig::roce_family(kind)
+            } else {
+                SimConfig::tcp_family(kind)
+            };
+            let cfg = base.with_topology(small_single_switch(3)).with_tlt();
+            let res = one_flow(cfg, 200_000);
+            assert!(res.flows[0].end.is_some(), "{kind:?}+TLT did not complete");
+            assert!(res.agg.important_pkts > 0, "{kind:?} marked nothing");
+        }
+    }
+
+    #[test]
+    fn incast_without_tlt_times_out_with_tlt_does_not() {
+        // The paper's timeout regime: many *short* (8 kB) flows arriving
+        // synchronized, so each flow's entire life fits in the initial
+        // burst — drops land on flow tails and only an RTO (or TLT) can
+        // recover them. 96 flows x 8 kB = 768 kB against a ~400 kB dynamic
+        // threshold.
+        let mk = |tlt: bool| {
+            let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+                .with_topology(small_single_switch(49));
+            cfg.switch.buffer_bytes = 800_000;
+            cfg.switch.ecn = netsim::switch::EcnConfig::Threshold { k: 100_000 };
+            if tlt {
+                cfg = cfg.with_tlt();
+                cfg.switch.color_threshold = Some(150_000);
+            }
+            let flows: Vec<FlowSpec> = (1..49)
+                .flat_map(|s| {
+                    [
+                        FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true),
+                        FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true),
+                    ]
+                })
+                .collect();
+            Engine::new(cfg, flows).run()
+        };
+        let base = mk(false);
+        let tlt = mk(true);
+        assert!(
+            base.agg.timeouts > 0,
+            "synchronized incast should overflow and time out"
+        );
+        assert_eq!(tlt.agg.timeouts, 0, "TLT eliminates the timeouts");
+        assert!(tlt.agg.drops_color > 0, "TLT proactively dropped red packets");
+        assert_eq!(tlt.agg.drops_green_data, 0, "no important packet lost");
+        // And the tail FCT collapses.
+        let base_max = base
+            .flows
+            .iter()
+            .filter_map(|f| f.fct())
+            .max()
+            .unwrap();
+        let tlt_max = tlt.flows.iter().filter_map(|f| f.fct()).max().unwrap();
+        assert!(
+            tlt_max < base_max,
+            "TLT tail {tlt_max} vs baseline tail {base_max}"
+        );
+    }
+
+    #[test]
+    fn pfc_makes_the_network_lossless() {
+        // TCP (no ECN) keeps ramping until flow control engages: with PFC
+        // the ingress accounting pauses the sending NICs instead of
+        // dropping.
+        let mut cfg = SimConfig::tcp_family(TransportKind::Tcp)
+            .with_topology(small_single_switch(5))
+            .with_pfc();
+        cfg.switch.buffer_bytes = 1_000_000;
+        let flows: Vec<FlowSpec> = (1..5)
+            .map(|s| FlowSpec::new(s, 0, 1_000_000, SimTime::ZERO, true))
+            .collect();
+        let res = Engine::new(cfg, flows).run();
+        assert_eq!(res.agg.drops_dt + res.agg.drops_overflow, 0, "lossless");
+        assert_eq!(res.agg.timeouts, 0);
+        assert!(res.agg.pause_frames > 0, "PFC actually engaged");
+        assert!(res.agg.link_pause_fraction > 0.0);
+        assert!(res.flows.iter().all(|f| f.end.is_some()));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let mk = || {
+            let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+                .with_topology(small_single_switch(9))
+                .with_seed(7);
+            let flows: Vec<FlowSpec> = (1..9)
+                .map(|s| FlowSpec::new(s, 0, 32_000, SimTime::from_us(s as u64), true))
+                .collect();
+            Engine::new(cfg, flows).run()
+        };
+        let a = mk();
+        let b = mk();
+        for (x, y) in a.flows.iter().zip(b.flows.iter()) {
+            assert_eq!(x.end, y.end);
+            assert_eq!(x.timeouts, y.timeouts);
+        }
+        assert_eq!(a.agg.data_pkts_sent, b.agg.data_pkts_sent);
+        assert_eq!(a.agg.drops_dt, b.agg.drops_dt);
+    }
+
+    #[test]
+    fn leaf_spine_cross_rack_flow() {
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp);
+        let res = Engine::new(
+            cfg,
+            vec![FlowSpec::new(0, 95, 500_000, SimTime::ZERO, false)],
+        )
+        .run();
+        let fct = res.flows[0].fct().expect("completed");
+        // 4 hops of 10us each way: RTT 80us; 500kB needs several RTTs.
+        assert!(fct >= SimTime::from_us(160), "fct {fct}");
+    }
+
+    #[test]
+    fn max_time_truncates_incomplete_flows() {
+        let mut cfg = SimConfig::tcp_family(TransportKind::Tcp)
+            .with_topology(small_single_switch(2));
+        cfg.max_time = SimTime::from_us(50); // not even one RTT
+        let res = one_flow(cfg, 10_000_000);
+        assert!(res.flows[0].end.is_none());
+    }
+
+    #[test]
+    fn queue_sampling_records_buildup() {
+        let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+            .with_topology(small_single_switch(9));
+        cfg.queue_sample_every = Some(SimTime::from_us(10));
+        let flows: Vec<FlowSpec> = (1..9)
+            .map(|s| FlowSpec::new(s, 0, 64_000, SimTime::ZERO, true))
+            .collect();
+        let res = Engine::new(cfg, flows).run();
+        assert!(res.agg.queue_samples.len() > 3);
+        assert!(res.agg.max_queue_bytes > 0);
+    }
+
+    #[test]
+    fn wire_loss_fallback_to_transport_recovery() {
+        // §5: TLT does not handle non-congestion losses; when corruption
+        // strikes, flows still complete via the underlying transport (fast
+        // retransmit or RTO).
+        let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+            .with_topology(small_single_switch(3))
+            .with_tlt();
+        cfg.wire_loss_rate = 0.01;
+        let flows: Vec<FlowSpec> = (0..8)
+            .map(|i| FlowSpec::new(1 + (i % 2), 0, 100_000, SimTime::from_us(i as u64), true))
+            .collect();
+        let res = Engine::new(cfg, flows).run();
+        assert!(res.agg.wire_drops > 0, "corruption actually occurred");
+        assert!(
+            res.flows.iter().all(|f| f.end.is_some()),
+            "every flow survives corruption"
+        );
+    }
+
+    #[test]
+    fn wire_loss_zero_by_default() {
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+            .with_topology(small_single_switch(2));
+        let res = one_flow(cfg, 200_000);
+        assert_eq!(res.agg.wire_drops, 0);
+    }
+
+    #[test]
+    fn base_rtt_matches_paper() {
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp);
+        let eng = Engine::new(cfg, vec![FlowSpec::new(0, 1, 1000, SimTime::ZERO, false)]);
+        assert_eq!(eng.base_rtt(), SimTime::from_us(80));
+        assert_eq!(eng.bdp(), 400_000);
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulation core.
+//!
+//! This crate provides the three primitives every other crate in the
+//! workspace builds on:
+//!
+//! - [`SimTime`]: a nanosecond-resolution simulation clock value,
+//! - [`EventQueue`]: a priority queue of timestamped events with a *stable*
+//!   tie-break (events scheduled for the same instant fire in the order they
+//!   were scheduled), which is what makes whole-simulation determinism
+//!   possible,
+//! - [`SimRng`]: a seeded small-state RNG so that a run is a pure function of
+//!   its configuration and seed.
+//!
+//! The queue is generic over the event payload; the network engine in
+//! `dcsim` instantiates it with its own event enum.
+//!
+//! # Examples
+//!
+//! ```
+//! use eventsim::{EventQueue, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::from_ns(20), "second");
+//! q.schedule(SimTime::from_ns(10), "first");
+//! q.schedule(SimTime::from_ns(20), "third"); // same ts as "second": FIFO
+//!
+//! let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+//! assert_eq!(order, vec!["first", "second", "third"]);
+//! ```
+
+mod queue;
+mod rng;
+mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::SimTime;

@@ -1,0 +1,204 @@
+//! A stable-order event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A priority queue of `(SimTime, E)` pairs that pops in time order and, for
+/// equal timestamps, in insertion order.
+///
+/// The FIFO tie-break is what makes simulations reproducible: two events
+/// scheduled for the same nanosecond always run in the order they were
+/// scheduled, independent of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use eventsim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(5), 'b');
+/// q.schedule(SimTime::from_ns(1), 'a');
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(1), 'a')));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(5), 'b')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// Scheduling in the past is allowed (the queue is just a priority
+    /// queue); the engine layer is responsible for only scheduling at or
+    /// after its current clock.
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[30u64, 10, 20, 5, 25] {
+            q.schedule(SimTime::from_ns(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((at, e)) = q.pop() {
+            assert_eq!(at.as_ns(), e);
+            out.push(e);
+        }
+        assert_eq!(out, vec![5, 10, 20, 25, 30]);
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ns(7), i);
+        }
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let expected: Vec<_> = (0..100).collect();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(10), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        // "c" is scheduled later than "b" at the same instant, so pops after.
+        q.schedule(SimTime::from_ns(10), "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_ns(3), ());
+        q.schedule(SimTime::from_ns(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(1)));
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    proptest::proptest! {
+        /// Popped timestamps are non-decreasing for any schedule order.
+        #[test]
+        fn prop_monotonic_pop(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.schedule(SimTime::from_ns(t), t);
+            }
+            let mut last = 0u64;
+            while let Some((at, _)) = q.pop() {
+                proptest::prop_assert!(at.as_ns() >= last);
+                last = at.as_ns();
+            }
+        }
+
+        /// Every scheduled event is popped exactly once.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_ns(t), i);
+            }
+            let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            seen.sort_unstable();
+            let expected: Vec<usize> = (0..times.len()).collect();
+            proptest::prop_assert_eq!(seen, expected);
+        }
+    }
+}

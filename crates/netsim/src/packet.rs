@@ -1,0 +1,319 @@
+//! The on-wire packet model.
+//!
+//! Packets carry only metadata (sizes, sequence numbers, marks); payload
+//! bytes are never materialized. Wire sizes include a fixed per-packet header
+//! overhead so that serialization delays and buffer occupancy are realistic.
+
+use eventsim::SimTime;
+
+/// Identifier of a flow (one message transfer between a sender/receiver pair).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u32);
+
+/// Which way a packet travels along its flow's pinned path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Sender → receiver (data).
+    Fwd,
+    /// Receiver → sender (ACK / NACK / CNP).
+    Rev,
+}
+
+/// Transport-layer packet type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PacketKind {
+    /// A data segment carrying `len` payload bytes starting at `seq`.
+    Data,
+    /// A (selective) acknowledgement; `seq` is the cumulative ACK number.
+    Ack,
+    /// RoCE negative acknowledgement; `seq` is the expected sequence number.
+    Nack,
+    /// DCQCN Congestion Notification Packet.
+    Cnp,
+}
+
+/// TLT transport-layer mark (§5 and Algorithm 1 of the paper).
+///
+/// `ImportantData` / `ImportantEcho` implement the one-important-in-flight
+/// self-clocking; the `ImportantClock*` variants are the important
+/// ACK-clocking packets whose duplicate ACKs must be hidden from congestion
+/// control (Appendix A).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TltMark {
+    /// Not a TLT-important packet.
+    #[default]
+    None,
+    /// An important data packet; receiver must echo immediately.
+    ImportantData,
+    /// The immediate ACK for an `ImportantData` packet.
+    ImportantEcho,
+    /// Data injected by important ACK-clocking (window/buffer limits bypassed).
+    ImportantClockData,
+    /// The ACK for an `ImportantClockData` packet; dropped at the TLT layer
+    /// when it would register as a duplicate ACK.
+    ImportantClockEcho,
+}
+
+impl TltMark {
+    /// Whether this mark makes the packet "important" at the network layer.
+    pub fn is_important(self) -> bool {
+        !matches!(self, TltMark::None)
+    }
+}
+
+/// Network-layer packet color, as programmed via switch ACLs on DSCP.
+///
+/// Green packets bypass the color-aware dropping threshold; red packets are
+/// proactively dropped once the egress queue reaches it (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Color {
+    /// Important: admitted up to the dynamic threshold.
+    #[default]
+    Green,
+    /// Unimportant: proactively dropped beyond the color-aware threshold.
+    Red,
+}
+
+/// One SACK block: the half-open byte range `[start, end)` held by the
+/// receiver above the cumulative ACK point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SackBlock {
+    /// First byte of the block.
+    pub start: u64,
+    /// One past the last byte of the block.
+    pub end: u64,
+}
+
+/// One hop of in-band network telemetry appended by an HPCC-enabled switch
+/// at dequeue time.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct IntHop {
+    /// Egress queue length at dequeue (bytes).
+    pub q_len: u64,
+    /// Cumulative bytes transmitted by this egress port.
+    pub tx_bytes: u64,
+    /// Switch-local timestamp of the dequeue.
+    pub ts: SimTime,
+    /// Port capacity in bits per second.
+    pub rate_bps: u64,
+}
+
+/// Fixed L2+L3+L4 header overhead added to every packet's wire size (bytes).
+pub const HEADER_BYTES: u32 = 48;
+/// Wire overhead per SACK block (bytes).
+pub const SACK_BLOCK_BYTES: u32 = 8;
+/// Wire overhead per INT hop record (bytes).
+pub const INT_HOP_BYTES: u32 = 8;
+
+/// A simulated packet.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::packet::{Direction, FlowId, Packet, PacketKind};
+///
+/// let pkt = Packet::data(FlowId(1), 0, 1440);
+/// assert_eq!(pkt.kind, PacketKind::Data);
+/// assert_eq!(pkt.wire_size(), 1440 + 48);
+/// assert_eq!(pkt.dir, Direction::Fwd);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Flow this packet belongs to.
+    pub flow: FlowId,
+    /// Data: first payload byte number. ACK: cumulative ACK number.
+    /// NACK: expected sequence number.
+    pub seq: u64,
+    /// Payload length in bytes (0 for pure control packets).
+    pub len: u32,
+    /// Transport-layer packet type.
+    pub kind: PacketKind,
+    /// Travel direction along the flow's pinned path.
+    pub dir: Direction,
+    /// Index of the next entry of the path to use (maintained by the engine).
+    pub hop: u8,
+    /// ECN: this packet is ECN-capable transport.
+    pub ecn_capable: bool,
+    /// ECN: Congestion Experienced mark (set by switches).
+    pub ce: bool,
+    /// ACK only: ECN-Echo — the acked data packet carried a CE mark.
+    pub ece: bool,
+    /// TLT transport mark.
+    pub mark: TltMark,
+    /// Network-layer color derived from the mark / packet kind.
+    pub color: Color,
+    /// SACK blocks (ACKs only; empty otherwise).
+    pub sack: Vec<SackBlock>,
+    /// INT telemetry stack (HPCC; empty otherwise).
+    pub int_stack: Vec<IntHop>,
+    /// Sender timestamp, echoed back in `ts_echo` by the receiver.
+    pub ts: SimTime,
+    /// Echoed timestamp (ACKs; `SimTime::ZERO` when absent).
+    pub ts_echo: SimTime,
+    /// Whether this data packet is a retransmission.
+    pub is_retx: bool,
+    /// Data packets: whether the receiver should treat `seq` as covering the
+    /// final byte of the flow (used by rate-based receivers to detect tails).
+    pub is_tail: bool,
+}
+
+impl Packet {
+    /// Creates a forward-direction data packet for `flow` carrying payload
+    /// bytes `[seq, seq + len)`.
+    pub fn data(flow: FlowId, seq: u64, len: u32) -> Packet {
+        Packet {
+            flow,
+            seq,
+            len,
+            kind: PacketKind::Data,
+            dir: Direction::Fwd,
+            hop: 0,
+            ecn_capable: false,
+            ce: false,
+            ece: false,
+            mark: TltMark::None,
+            color: Color::Green,
+            sack: Vec::new(),
+            int_stack: Vec::new(),
+            ts: SimTime::ZERO,
+            ts_echo: SimTime::ZERO,
+            is_retx: false,
+            is_tail: false,
+        }
+    }
+
+    /// Creates a reverse-direction ACK with cumulative ACK number `ack`.
+    pub fn ack(flow: FlowId, ack: u64) -> Packet {
+        Packet {
+            kind: PacketKind::Ack,
+            dir: Direction::Rev,
+            ..Packet::data(flow, ack, 0)
+        }
+    }
+
+    /// Creates a reverse-direction NACK indicating the receiver expects
+    /// sequence number `expected`.
+    pub fn nack(flow: FlowId, expected: u64) -> Packet {
+        Packet {
+            kind: PacketKind::Nack,
+            dir: Direction::Rev,
+            ..Packet::data(flow, expected, 0)
+        }
+    }
+
+    /// Creates a reverse-direction DCQCN congestion notification packet.
+    pub fn cnp(flow: FlowId) -> Packet {
+        Packet {
+            kind: PacketKind::Cnp,
+            dir: Direction::Rev,
+            ..Packet::data(flow, 0, 0)
+        }
+    }
+
+    /// Whether this is a pure control packet (no payload).
+    pub fn is_control(&self) -> bool {
+        !matches!(self.kind, PacketKind::Data)
+    }
+
+    /// Bytes this packet occupies on the wire and in switch buffers.
+    pub fn wire_size(&self) -> u32 {
+        HEADER_BYTES
+            + self.len
+            + SACK_BLOCK_BYTES * self.sack.len() as u32
+            + INT_HOP_BYTES * self.int_stack.len() as u32
+    }
+
+    /// Exclusive end of the payload byte range (data packets).
+    pub fn seq_end(&self) -> u64 {
+        self.seq + u64::from(self.len)
+    }
+
+    /// Assigns the network-layer color implied by the TLT mark and packet
+    /// kind (§5: "all control packets are marked as important").
+    ///
+    /// With TLT disabled every packet stays green so that a misconfigured
+    /// color-aware threshold cannot drop baseline traffic.
+    pub fn colorize(&mut self, tlt_enabled: bool) {
+        self.color = if !tlt_enabled || self.is_control() || self.mark.is_important() {
+            Color::Green
+        } else {
+            Color::Red
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kinds_and_directions() {
+        let d = Packet::data(FlowId(3), 100, 1440);
+        assert_eq!(d.kind, PacketKind::Data);
+        assert_eq!(d.dir, Direction::Fwd);
+        assert_eq!(d.seq_end(), 1540);
+
+        let a = Packet::ack(FlowId(3), 1540);
+        assert_eq!(a.kind, PacketKind::Ack);
+        assert_eq!(a.dir, Direction::Rev);
+        assert!(a.is_control());
+
+        let n = Packet::nack(FlowId(3), 100);
+        assert_eq!(n.kind, PacketKind::Nack);
+        let c = Packet::cnp(FlowId(3));
+        assert_eq!(c.kind, PacketKind::Cnp);
+        assert_eq!(c.wire_size(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn wire_size_accounts_for_options() {
+        let mut a = Packet::ack(FlowId(0), 0);
+        a.sack.push(SackBlock { start: 10, end: 20 });
+        a.sack.push(SackBlock { start: 30, end: 40 });
+        assert_eq!(a.wire_size(), HEADER_BYTES + 2 * SACK_BLOCK_BYTES);
+
+        let mut d = Packet::data(FlowId(0), 0, 1000);
+        d.int_stack.push(IntHop {
+            q_len: 0,
+            tx_bytes: 0,
+            ts: SimTime::ZERO,
+            rate_bps: 40_000_000_000,
+        });
+        assert_eq!(d.wire_size(), HEADER_BYTES + 1000 + INT_HOP_BYTES);
+    }
+
+    #[test]
+    fn colorize_maps_marks_to_colors() {
+        let mut d = Packet::data(FlowId(0), 0, 1440);
+        d.colorize(true);
+        assert_eq!(d.color, Color::Red, "unmarked data is unimportant");
+
+        d.mark = TltMark::ImportantData;
+        d.colorize(true);
+        assert_eq!(d.color, Color::Green);
+
+        d.mark = TltMark::ImportantClockData;
+        d.colorize(true);
+        assert_eq!(d.color, Color::Green);
+
+        let mut a = Packet::ack(FlowId(0), 0);
+        a.colorize(true);
+        assert_eq!(a.color, Color::Green, "control packets are important");
+    }
+
+    #[test]
+    fn colorize_without_tlt_is_all_green() {
+        let mut d = Packet::data(FlowId(0), 0, 1440);
+        d.colorize(false);
+        assert_eq!(d.color, Color::Green);
+    }
+
+    #[test]
+    fn mark_importance() {
+        assert!(!TltMark::None.is_important());
+        assert!(TltMark::ImportantData.is_important());
+        assert!(TltMark::ImportantEcho.is_important());
+        assert!(TltMark::ImportantClockData.is_important());
+        assert!(TltMark::ImportantClockEcho.is_important());
+    }
+}

@@ -1,0 +1,609 @@
+//! Topology builders and per-flow ECMP path pinning.
+//!
+//! Production datacenters use ECMP, which hashes a flow's 5-tuple so that
+//! every packet of a flow takes the same path (§5 of the paper relies on
+//! this to set the duplicate-ACK threshold to one). We implement the same
+//! property directly: a flow's forward and reverse paths are computed once
+//! from a flow hash and pinned; packets carry only a hop index.
+//!
+//! Three topologies cover every experiment in the paper:
+//! - [`TopologySpec::LeafSpine`]: the large-scale simulation fabric (§7.1),
+//! - [`TopologySpec::SingleSwitch`]: the incast / Redis testbed (§7.3–7.4),
+//! - [`TopologySpec::Dumbbell`]: the mixed-traffic PFC experiment (§7.4).
+
+use eventsim::SimTime;
+
+use crate::link::LinkSpec;
+
+/// Index of a node (host or switch) in a topology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Index of a port within a node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub u32);
+
+/// Index of a directed link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// What a node is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// An end host with a single NIC port.
+    Host,
+    /// A switch.
+    Switch,
+}
+
+/// One transmission point along a path: node `node` transmits on `port`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Hop {
+    /// The transmitting node.
+    pub node: NodeId,
+    /// The egress port used.
+    pub port: PortId,
+}
+
+/// A directed link record.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkRecord {
+    /// Transmitting (node, port).
+    pub from: (NodeId, PortId),
+    /// Receiving (node, port).
+    pub to: (NodeId, PortId),
+    /// Rate / delay parameters.
+    pub spec: LinkSpec,
+}
+
+/// Declarative topology description.
+#[derive(Clone, Debug)]
+pub enum TopologySpec {
+    /// A two-tier leaf–spine fabric. The paper's §7.1 instance is 4 cores,
+    /// 12 ToRs, 8 hosts per ToR (96 hosts), 40 Gbps everywhere, 2:1
+    /// oversubscription.
+    LeafSpine {
+        /// Number of spine (core) switches.
+        cores: usize,
+        /// Number of leaf (ToR) switches.
+        tors: usize,
+        /// Hosts attached to each ToR.
+        hosts_per_tor: usize,
+        /// Host↔ToR link.
+        host_link: LinkSpec,
+        /// ToR↔core link.
+        fabric_link: LinkSpec,
+    },
+    /// `hosts` hosts hanging off one switch.
+    SingleSwitch {
+        /// Number of hosts.
+        hosts: usize,
+        /// Host↔switch link.
+        host_link: LinkSpec,
+    },
+    /// Two switches joined by one inter-switch link, with hosts on each side.
+    Dumbbell {
+        /// Hosts on the left switch.
+        left_hosts: usize,
+        /// Hosts on the right switch.
+        right_hosts: usize,
+        /// Host↔switch link.
+        host_link: LinkSpec,
+        /// The switch↔switch bottleneck link.
+        cross_link: LinkSpec,
+    },
+}
+
+impl TopologySpec {
+    /// The paper's §7.1 fabric: 96 hosts, 4 cores, 12 ToRs, 40 Gbps links
+    /// with `latency` per hop.
+    pub fn paper_leaf_spine(latency: SimTime) -> TopologySpec {
+        let l = LinkSpec::new(40_000_000_000, latency);
+        TopologySpec::LeafSpine {
+            cores: 4,
+            tors: 12,
+            hosts_per_tor: 8,
+            host_link: l,
+            fabric_link: l,
+        }
+    }
+
+    /// Builds the concrete [`Topology`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate shapes (no hosts, no switches).
+    pub fn build(&self) -> Topology {
+        match *self {
+            TopologySpec::LeafSpine {
+                cores,
+                tors,
+                hosts_per_tor,
+                host_link,
+                fabric_link,
+            } => Topology::leaf_spine(cores, tors, hosts_per_tor, host_link, fabric_link),
+            TopologySpec::SingleSwitch { hosts, host_link } => {
+                Topology::single_switch(hosts, host_link)
+            }
+            TopologySpec::Dumbbell {
+                left_hosts,
+                right_hosts,
+                host_link,
+                cross_link,
+            } => Topology::dumbbell(left_hosts, right_hosts, host_link, cross_link),
+        }
+    }
+}
+
+enum Shape {
+    LeafSpine {
+        cores: usize,
+        tors: usize,
+        hosts_per_tor: usize,
+    },
+    SingleSwitch,
+    Dumbbell {
+        left_hosts: usize,
+    },
+}
+
+/// A built topology: nodes, directed links, and path computation.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::topology::TopologySpec;
+/// use netsim::LinkSpec;
+/// use eventsim::SimTime;
+///
+/// let spec = TopologySpec::paper_leaf_spine(SimTime::from_us(10));
+/// let topo = spec.build();
+/// assert_eq!(topo.hosts().len(), 96);
+/// let (fwd, rev) = topo.pin_paths(topo.hosts()[0], topo.hosts()[95], 7);
+/// assert_eq!(fwd.len(), 4); // host -> ToR -> core -> ToR -> host
+/// assert_eq!(rev.len(), 4);
+/// ```
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    out_links: Vec<Vec<LinkId>>,
+    links: Vec<LinkRecord>,
+    hosts: Vec<NodeId>,
+    shape: Shape,
+}
+
+impl Topology {
+    fn empty(shape: Shape) -> Topology {
+        Topology {
+            kinds: Vec::new(),
+            out_links: Vec::new(),
+            links: Vec::new(),
+            hosts: Vec::new(),
+            shape,
+        }
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.out_links.push(Vec::new());
+        if kind == NodeKind::Host {
+            self.hosts.push(id);
+        }
+        id
+    }
+
+    /// Connects `a` and `b` with a bidirectional link, allocating one new
+    /// port on each side; returns `(port_on_a, port_on_b)`.
+    fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (PortId, PortId) {
+        let pa = PortId(self.out_links[a.0 as usize].len() as u32);
+        let pb = PortId(self.out_links[b.0 as usize].len() as u32);
+        let ab = LinkId(self.links.len() as u32);
+        self.links.push(LinkRecord {
+            from: (a, pa),
+            to: (b, pb),
+            spec,
+        });
+        let ba = LinkId(self.links.len() as u32);
+        self.links.push(LinkRecord {
+            from: (b, pb),
+            to: (a, pa),
+            spec,
+        });
+        self.out_links[a.0 as usize].push(ab);
+        self.out_links[b.0 as usize].push(ba);
+        (pa, pb)
+    }
+
+    fn leaf_spine(
+        cores: usize,
+        tors: usize,
+        hosts_per_tor: usize,
+        host_link: LinkSpec,
+        fabric_link: LinkSpec,
+    ) -> Topology {
+        assert!(cores > 0 && tors > 0 && hosts_per_tor > 0, "degenerate fabric");
+        let mut t = Topology::empty(Shape::LeafSpine {
+            cores,
+            tors,
+            hosts_per_tor,
+        });
+        let core_ids: Vec<NodeId> = (0..cores).map(|_| t.add_node(NodeKind::Switch)).collect();
+        let tor_ids: Vec<NodeId> = (0..tors).map(|_| t.add_node(NodeKind::Switch)).collect();
+        // ToR ports 0..hosts_per_tor go down to hosts (in host order);
+        // ports hosts_per_tor..hosts_per_tor+cores go up to cores (in core
+        // order). Establish host links first to keep that numbering.
+        for &tor in &tor_ids {
+            for _ in 0..hosts_per_tor {
+                let host = t.add_node(NodeKind::Host);
+                t.connect(tor, host, host_link);
+            }
+        }
+        for &tor in &tor_ids {
+            for &core in &core_ids {
+                t.connect(tor, core, fabric_link);
+            }
+        }
+        t
+    }
+
+    fn single_switch(hosts: usize, host_link: LinkSpec) -> Topology {
+        assert!(hosts >= 2, "need at least two hosts");
+        let mut t = Topology::empty(Shape::SingleSwitch);
+        let sw = t.add_node(NodeKind::Switch);
+        for _ in 0..hosts {
+            let h = t.add_node(NodeKind::Host);
+            t.connect(sw, h, host_link);
+        }
+        t
+    }
+
+    fn dumbbell(
+        left_hosts: usize,
+        right_hosts: usize,
+        host_link: LinkSpec,
+        cross_link: LinkSpec,
+    ) -> Topology {
+        assert!(left_hosts >= 1 && right_hosts >= 1, "need hosts on both sides");
+        let mut t = Topology::empty(Shape::Dumbbell { left_hosts });
+        let left = t.add_node(NodeKind::Switch);
+        let right = t.add_node(NodeKind::Switch);
+        // Port layout: host ports first (0..n_hosts), cross link last.
+        for _ in 0..left_hosts {
+            let h = t.add_node(NodeKind::Host);
+            t.connect(left, h, host_link);
+        }
+        for _ in 0..right_hosts {
+            let h = t.add_node(NodeKind::Host);
+            t.connect(right, h, host_link);
+        }
+        t.connect(left, right, cross_link);
+        t
+    }
+
+    /// All host nodes, in creation order.
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// Number of nodes (hosts + switches).
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The kind of `node`.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node.0 as usize]
+    }
+
+    /// Number of ports on `node`.
+    pub fn port_count(&self, node: NodeId) -> usize {
+        self.out_links[node.0 as usize].len()
+    }
+
+    /// The directed link leaving `(node, port)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn link_from(&self, node: NodeId, port: PortId) -> (LinkId, &LinkRecord) {
+        let id = self.out_links[node.0 as usize][port.0 as usize];
+        (id, &self.links[id.0 as usize])
+    }
+
+    /// Directed link record by id.
+    pub fn link(&self, id: LinkId) -> &LinkRecord {
+        &self.links[id.0 as usize]
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The `(node, port)` that transmits *into* `(node, port)`'s ingress —
+    /// i.e. the peer PFC PAUSE frames must be addressed to. Because ports
+    /// are allocated in symmetric pairs, this is the far end of the egress
+    /// link on the same port.
+    pub fn upstream_of(&self, node: NodeId, ingress: PortId) -> (NodeId, PortId) {
+        self.link_from(node, ingress).1.to
+    }
+
+    /// Pins the forward and reverse paths of a flow from `src` to `dst`
+    /// given the flow's ECMP hash. Both directions traverse the same
+    /// switches (the paper's same-path assumption).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either is not a host.
+    pub fn pin_paths(&self, src: NodeId, dst: NodeId, flow_hash: u64) -> (Vec<Hop>, Vec<Hop>) {
+        assert_ne!(src, dst, "flow endpoints must differ");
+        assert_eq!(self.kind(src), NodeKind::Host);
+        assert_eq!(self.kind(dst), NodeKind::Host);
+        match self.shape {
+            Shape::SingleSwitch => {
+                let sw = NodeId(0);
+                // Host i (node 1 + i) hangs off switch port i.
+                let port_of = |h: NodeId| PortId(h.0 - 1);
+                let fwd = vec![
+                    Hop { node: src, port: PortId(0) },
+                    Hop { node: sw, port: port_of(dst) },
+                ];
+                let rev = vec![
+                    Hop { node: dst, port: PortId(0) },
+                    Hop { node: sw, port: port_of(src) },
+                ];
+                (fwd, rev)
+            }
+            Shape::Dumbbell { left_hosts } => {
+                let side = |h: NodeId| (h.0 as usize - 2) >= left_hosts; // false=left
+                let local_port = |h: NodeId| {
+                    let idx = h.0 as usize - 2;
+                    if idx < left_hosts {
+                        PortId(idx as u32)
+                    } else {
+                        PortId((idx - left_hosts) as u32)
+                    }
+                };
+                let sw_of = |h: NodeId| if side(h) { NodeId(1) } else { NodeId(0) };
+                let cross_port = |sw: NodeId, n_local: usize| {
+                    let _ = sw;
+                    PortId(n_local as u32)
+                };
+                let n_left = left_hosts;
+                let n_right = self.hosts.len() - left_hosts;
+                let one_way = |a: NodeId, b: NodeId| -> Vec<Hop> {
+                    let sa = sw_of(a);
+                    let sb = sw_of(b);
+                    if sa == sb {
+                        vec![Hop { node: a, port: PortId(0) }, Hop { node: sa, port: local_port(b) }]
+                    } else {
+                        let n_local = if sa == NodeId(0) { n_left } else { n_right };
+                        vec![
+                            Hop { node: a, port: PortId(0) },
+                            Hop { node: sa, port: cross_port(sa, n_local) },
+                            Hop { node: sb, port: local_port(b) },
+                        ]
+                    }
+                };
+                (one_way(src, dst), one_way(dst, src))
+            }
+            Shape::LeafSpine {
+                cores,
+                tors: _,
+                hosts_per_tor,
+            } => {
+                let first_host = cores as u32 + self.tor_count() as u32;
+                let host_idx = |h: NodeId| (h.0 - first_host) as usize;
+                let tor_of = |h: NodeId| NodeId(cores as u32 + (host_idx(h) / hosts_per_tor) as u32);
+                let local_port = |h: NodeId| PortId((host_idx(h) % hosts_per_tor) as u32);
+                let src_tor = tor_of(src);
+                let dst_tor = tor_of(dst);
+                if src_tor == dst_tor {
+                    let fwd = vec![
+                        Hop { node: src, port: PortId(0) },
+                        Hop { node: src_tor, port: local_port(dst) },
+                    ];
+                    let rev = vec![
+                        Hop { node: dst, port: PortId(0) },
+                        Hop { node: dst_tor, port: local_port(src) },
+                    ];
+                    (fwd, rev)
+                } else {
+                    let core_idx = (flow_hash % cores as u64) as u32;
+                    let core = NodeId(core_idx);
+                    // ToR uplink ports start after the host ports; core port
+                    // c on a ToR reaches core c. Core ports are in ToR
+                    // order: port t reaches ToR t.
+                    let up_port = PortId(hosts_per_tor as u32 + core_idx);
+                    let core_port_to = |tor: NodeId| PortId(tor.0 - cores as u32);
+                    let fwd = vec![
+                        Hop { node: src, port: PortId(0) },
+                        Hop { node: src_tor, port: up_port },
+                        Hop { node: core, port: core_port_to(dst_tor) },
+                        Hop { node: dst_tor, port: local_port(dst) },
+                    ];
+                    let rev = vec![
+                        Hop { node: dst, port: PortId(0) },
+                        Hop { node: dst_tor, port: up_port },
+                        Hop { node: core, port: core_port_to(src_tor) },
+                        Hop { node: src_tor, port: local_port(src) },
+                    ];
+                    (fwd, rev)
+                }
+            }
+        }
+    }
+
+    fn tor_count(&self) -> usize {
+        match self.shape {
+            Shape::LeafSpine { tors, .. } => tors,
+            _ => 0,
+        }
+    }
+
+    /// Deterministic flow hash used for ECMP path selection.
+    pub fn ecmp_hash(src: NodeId, dst: NodeId, flow_salt: u64) -> u64 {
+        let mut x = (u64::from(src.0) << 40) ^ (u64::from(dst.0) << 16) ^ flow_salt;
+        // splitmix64 finalizer.
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l() -> LinkSpec {
+        LinkSpec::new(40_000_000_000, SimTime::from_us(10))
+    }
+
+    fn validate_path(t: &Topology, path: &[Hop], src: NodeId, dst: NodeId) {
+        assert_eq!(path[0].node, src);
+        // Walk the links: each hop's link must land on the next hop's node,
+        // and the final link must land on dst.
+        for (i, hop) in path.iter().enumerate() {
+            let (_, rec) = t.link_from(hop.node, hop.port);
+            let expect = if i + 1 < path.len() { path[i + 1].node } else { dst };
+            assert_eq!(rec.to.0, expect, "hop {i} lands on wrong node");
+        }
+    }
+
+    #[test]
+    fn paper_leaf_spine_shape() {
+        let t = TopologySpec::paper_leaf_spine(SimTime::from_us(10)).build();
+        assert_eq!(t.hosts().len(), 96);
+        assert_eq!(t.node_count(), 4 + 12 + 96);
+        // Each ToR has 8 host ports + 4 uplinks.
+        assert_eq!(t.port_count(NodeId(4)), 12);
+        // Each core has 12 ToR ports.
+        assert_eq!(t.port_count(NodeId(0)), 12);
+        // Hosts have exactly one port.
+        assert_eq!(t.port_count(t.hosts()[0]), 1);
+    }
+
+    #[test]
+    fn leaf_spine_paths_are_consistent() {
+        let t = TopologySpec::paper_leaf_spine(SimTime::from_us(10)).build();
+        let hosts = t.hosts().to_vec();
+        // Same-rack pair.
+        let (fwd, rev) = t.pin_paths(hosts[0], hosts[1], 3);
+        assert_eq!(fwd.len(), 2);
+        validate_path(&t, &fwd, hosts[0], hosts[1]);
+        validate_path(&t, &rev, hosts[1], hosts[0]);
+        // Cross-rack pair.
+        let (fwd, rev) = t.pin_paths(hosts[0], hosts[95], 3);
+        assert_eq!(fwd.len(), 4);
+        validate_path(&t, &fwd, hosts[0], hosts[95]);
+        validate_path(&t, &rev, hosts[95], hosts[0]);
+        // Forward and reverse traverse the same core.
+        assert_eq!(fwd[2].node, rev[2].node);
+    }
+
+    #[test]
+    fn ecmp_spreads_over_cores() {
+        let t = TopologySpec::paper_leaf_spine(SimTime::from_us(10)).build();
+        let hosts = t.hosts().to_vec();
+        let mut seen = std::collections::HashSet::new();
+        for salt in 0..64 {
+            let h = Topology::ecmp_hash(hosts[0], hosts[95], salt);
+            let (fwd, _) = t.pin_paths(hosts[0], hosts[95], h);
+            seen.insert(fwd[2].node);
+        }
+        assert_eq!(seen.len(), 4, "all four cores used across hashes");
+    }
+
+    #[test]
+    fn single_switch_paths() {
+        let t = TopologySpec::SingleSwitch {
+            hosts: 9,
+            host_link: l(),
+        }
+        .build();
+        assert_eq!(t.hosts().len(), 9);
+        let (fwd, rev) = t.pin_paths(t.hosts()[2], t.hosts()[7], 0);
+        assert_eq!(fwd.len(), 2);
+        validate_path(&t, &fwd, t.hosts()[2], t.hosts()[7]);
+        validate_path(&t, &rev, t.hosts()[7], t.hosts()[2]);
+    }
+
+    #[test]
+    fn dumbbell_paths_cross_and_local() {
+        let t = TopologySpec::Dumbbell {
+            left_hosts: 7,
+            right_hosts: 2,
+            host_link: l(),
+            cross_link: l(),
+        }
+        .build();
+        let hosts = t.hosts().to_vec();
+        assert_eq!(hosts.len(), 9);
+        // Left -> right crosses the bottleneck.
+        let (fwd, rev) = t.pin_paths(hosts[0], hosts[7], 0);
+        assert_eq!(fwd.len(), 3);
+        validate_path(&t, &fwd, hosts[0], hosts[7]);
+        validate_path(&t, &rev, hosts[7], hosts[0]);
+        // Left -> left stays local.
+        let (fwd, _) = t.pin_paths(hosts[0], hosts[1], 0);
+        assert_eq!(fwd.len(), 2);
+    }
+
+    #[test]
+    fn upstream_of_is_symmetric_peer() {
+        let t = TopologySpec::SingleSwitch {
+            hosts: 3,
+            host_link: l(),
+        }
+        .build();
+        // Switch port 0 connects to host 0 (node 1); pausing traffic that
+        // arrives on switch ingress 0 must target host 0's NIC port 0.
+        let (node, port) = t.upstream_of(NodeId(0), PortId(0));
+        assert_eq!(node, NodeId(1));
+        assert_eq!(port, PortId(0));
+        // And vice versa.
+        let (node, port) = t.upstream_of(NodeId(1), PortId(0));
+        assert_eq!(node, NodeId(0));
+        assert_eq!(port, PortId(0));
+    }
+
+    #[test]
+    fn ecmp_hash_is_deterministic_and_spread() {
+        let a = Topology::ecmp_hash(NodeId(1), NodeId(2), 42);
+        let b = Topology::ecmp_hash(NodeId(1), NodeId(2), 42);
+        assert_eq!(a, b);
+        let c = Topology::ecmp_hash(NodeId(1), NodeId(2), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn self_flow_rejected() {
+        let t = TopologySpec::SingleSwitch {
+            hosts: 2,
+            host_link: l(),
+        }
+        .build();
+        let h = t.hosts()[0];
+        let _ = t.pin_paths(h, h, 0);
+    }
+
+    proptest::proptest! {
+        /// Every host pair in the paper fabric yields valid, same-core,
+        /// loop-free paths.
+        #[test]
+        fn prop_all_pairs_valid(a in 0usize..96, b in 0usize..96, salt in 0u64..1000) {
+            proptest::prop_assume!(a != b);
+            let t = TopologySpec::paper_leaf_spine(SimTime::from_us(10)).build();
+            let hosts = t.hosts().to_vec();
+            let h = Topology::ecmp_hash(hosts[a], hosts[b], salt);
+            let (fwd, rev) = t.pin_paths(hosts[a], hosts[b], h);
+            validate_path(&t, &fwd, hosts[a], hosts[b]);
+            validate_path(&t, &rev, hosts[b], hosts[a]);
+            let mut seen = std::collections::HashSet::new();
+            for hop in &fwd {
+                proptest::prop_assert!(seen.insert(hop.node), "loop in path");
+            }
+        }
+    }
+}

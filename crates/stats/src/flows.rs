@@ -1,0 +1,181 @@
+//! Per-flow records and FCT summaries.
+
+use eventsim::SimTime;
+
+use crate::percentile::Samples;
+
+/// The lifecycle record of one flow, filled in by the engine.
+#[derive(Clone, Debug)]
+pub struct FlowRecord {
+    /// Flow id.
+    pub id: u32,
+    /// Source host index.
+    pub src: u32,
+    /// Destination host index.
+    pub dst: u32,
+    /// Flow size in bytes.
+    pub bytes: u64,
+    /// Arrival time.
+    pub start: SimTime,
+    /// Completion time (receiver holds all bytes), if it completed.
+    pub end: Option<SimTime>,
+    /// Foreground (incast/latency-sensitive) vs background flow.
+    pub fg: bool,
+    /// Retransmission timeouts taken by the sender.
+    pub timeouts: u64,
+    /// Retransmitted segments.
+    pub retx: u64,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if the flow completed.
+    pub fn fct(&self) -> Option<SimTime> {
+        self.end.map(|e| e.saturating_sub(self.start))
+    }
+}
+
+/// FCT summary for one class of flows (the quantities the paper's bar
+/// charts report).
+#[derive(Clone, Debug, Default)]
+pub struct FctSummary {
+    /// Flows in this class.
+    pub count: usize,
+    /// Flows that completed.
+    pub completed: usize,
+    /// Average FCT in seconds.
+    pub avg: f64,
+    /// Median FCT in seconds.
+    pub p50: f64,
+    /// 99th-percentile FCT in seconds.
+    pub p99: f64,
+    /// 99.9th-percentile FCT in seconds.
+    pub p999: f64,
+    /// Maximum FCT in seconds.
+    pub max: f64,
+    /// Total timeouts across flows.
+    pub timeouts: u64,
+    /// Timeouts per 1000 flows (Figure 7a's metric).
+    pub timeouts_per_1k: f64,
+    /// Aggregate goodput in bits per second (completed flows only).
+    pub goodput_bps: f64,
+}
+
+/// Summarizes the flows selected by `filter`.
+///
+/// # Examples
+///
+/// ```
+/// use netstats::{FlowRecord, summarize_flows};
+/// use eventsim::SimTime;
+///
+/// let flows = vec![FlowRecord {
+///     id: 0, src: 0, dst: 1, bytes: 8_000,
+///     start: SimTime::ZERO, end: Some(SimTime::from_us(100)),
+///     fg: true, timeouts: 0, retx: 0,
+/// }];
+/// let s = summarize_flows(flows.iter(), |f| f.fg);
+/// assert_eq!(s.completed, 1);
+/// assert!((s.avg - 100e-6).abs() < 1e-12);
+/// ```
+pub fn summarize_flows<'a>(
+    flows: impl Iterator<Item = &'a FlowRecord>,
+    mut filter: impl FnMut(&FlowRecord) -> bool,
+) -> FctSummary {
+    let mut fcts = Samples::new();
+    let mut out = FctSummary::default();
+    let mut bytes_completed = 0u64;
+    let mut time_in_flight = 0.0f64;
+    for f in flows {
+        if !filter(f) {
+            continue;
+        }
+        out.count += 1;
+        out.timeouts += f.timeouts;
+        if let Some(fct) = f.fct() {
+            out.completed += 1;
+            let secs = fct.as_secs_f64();
+            fcts.push(secs);
+            bytes_completed += f.bytes;
+            time_in_flight += secs;
+        }
+    }
+    out.avg = fcts.mean();
+    out.p50 = fcts.percentile(50.0);
+    out.p99 = fcts.percentile(99.0);
+    out.p999 = fcts.percentile(99.9);
+    out.max = fcts.max();
+    out.timeouts_per_1k = if out.count > 0 {
+        out.timeouts as f64 * 1000.0 / out.count as f64
+    } else {
+        0.0
+    };
+    out.goodput_bps = if time_in_flight > 0.0 {
+        bytes_completed as f64 * 8.0 / time_in_flight
+    } else {
+        0.0
+    };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(id: u32, fg: bool, fct_us: Option<u64>, timeouts: u64) -> FlowRecord {
+        FlowRecord {
+            id,
+            src: 0,
+            dst: 1,
+            bytes: 10_000,
+            start: SimTime::from_us(5),
+            end: fct_us.map(|u| SimTime::from_us(5 + u)),
+            fg,
+            timeouts,
+            retx: 0,
+        }
+    }
+
+    #[test]
+    fn fct_is_relative_to_start() {
+        let f = mk(0, true, Some(80), 0);
+        assert_eq!(f.fct(), Some(SimTime::from_us(80)));
+        assert_eq!(mk(0, true, None, 0).fct(), None);
+    }
+
+    #[test]
+    fn summary_filters_and_aggregates() {
+        let flows = vec![
+            mk(0, true, Some(100), 1),
+            mk(1, true, Some(200), 0),
+            mk(2, false, Some(1000), 0),
+            mk(3, true, None, 2),
+        ];
+        let fg = summarize_flows(flows.iter(), |f| f.fg);
+        assert_eq!(fg.count, 3);
+        assert_eq!(fg.completed, 2);
+        assert_eq!(fg.timeouts, 3);
+        assert!((fg.avg - 150e-6).abs() < 1e-12);
+        assert!((fg.timeouts_per_1k - 1000.0).abs() < 1e-9);
+        let bg = summarize_flows(flows.iter(), |f| !f.fg);
+        assert_eq!(bg.count, 1);
+        assert!((bg.avg - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_counts_completed_bytes_only() {
+        let flows = vec![mk(0, true, Some(1000), 0), mk(1, true, None, 0)];
+        let s = summarize_flows(flows.iter(), |_| true);
+        // 10 kB in 1 ms = 80 Mbps.
+        assert!((s.goodput_bps - 80e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let flows: Vec<FlowRecord> = Vec::new();
+        let s = summarize_flows(flows.iter(), |_| true);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.avg, 0.0);
+        assert_eq!(s.timeouts_per_1k, 0.0);
+        assert_eq!(s.goodput_bps, 0.0);
+    }
+}

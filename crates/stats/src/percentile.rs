@@ -1,0 +1,220 @@
+//! Scalar sample bags with percentile and CDF extraction.
+
+/// A collection of scalar observations.
+///
+/// # Examples
+///
+/// ```
+/// use netstats::Samples;
+///
+/// let mut s = Samples::new();
+/// for v in 1..=100 {
+///     s.push(v as f64);
+/// }
+/// assert_eq!(s.percentile(50.0), 50.5);
+/// assert_eq!(s.percentile(99.0), 99.01);
+/// assert_eq!(s.max(), 100.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Samples {
+    v: Vec<f64>,
+    dirty: bool,
+}
+
+impl Samples {
+    /// Creates an empty bag.
+    pub fn new() -> Samples {
+        Samples::default()
+    }
+
+    /// Creates a bag from existing values.
+    pub fn from_values(v: Vec<f64>) -> Samples {
+        Samples { v, dirty: true }
+    }
+
+    /// Adds an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN (NaN would poison ordering silently otherwise).
+    pub fn push(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN sample");
+        self.v.push(value);
+        self.dirty = true;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    fn sorted(&mut self) -> &[f64] {
+        if self.dirty {
+            self.v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            self.dirty = false;
+        }
+        &self.v
+    }
+
+    /// The p-th percentile (0–100) with linear interpolation between ranks.
+    ///
+    /// Returns 0.0 for an empty bag — experiment code prints summaries
+    /// unconditionally and an empty cell should read as zero, not panic.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        let s = self.sorted();
+        if s.is_empty() {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = p / 100.0 * (s.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            s[lo]
+        } else {
+            let frac = rank - lo as f64;
+            s[lo] * (1.0 - frac) + s[hi] * frac
+        }
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.v.is_empty() {
+            0.0
+        } else {
+            self.v.iter().sum::<f64>() / self.v.len() as f64
+        }
+    }
+
+    /// Maximum (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.v.iter().copied().fold(f64::MIN, f64::max).max(0.0)
+    }
+
+    /// Minimum (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.v.is_empty() {
+            0.0
+        } else {
+            self.v.iter().copied().fold(f64::MAX, f64::min)
+        }
+    }
+
+    /// Sample standard deviation (0.0 for fewer than two observations).
+    pub fn stddev(&self) -> f64 {
+        if self.v.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (self.v.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Extracts `points` evenly spaced (value, quantile) pairs — enough to
+    /// plot a CDF like Figures 1 and 16.
+    pub fn cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        let s = self.sorted();
+        if s.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (0..points)
+            .map(|i| {
+                let q = (i + 1) as f64 / points as f64;
+                let rank = ((q * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+                (s[rank], q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bag_is_zeroes() {
+        let mut s = Samples::new();
+        assert_eq!(s.percentile(99.0), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert!(s.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Samples::from_values(vec![42.0]);
+        assert_eq!(s.percentile(0.0), 42.0);
+        assert_eq!(s.percentile(50.0), 42.0);
+        assert_eq!(s.percentile(100.0), 42.0);
+        assert_eq!(s.mean(), 42.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s = Samples::from_values(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 40.0);
+        assert_eq!(s.percentile(50.0), 25.0);
+    }
+
+    #[test]
+    fn push_after_percentile_resorts() {
+        let mut s = Samples::new();
+        s.push(5.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        s.push(1.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn stddev_of_known_set() {
+        let s = Samples::from_values(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        // Sample (n-1) stddev of this classic set is ~2.138.
+        assert!((s.stddev() - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_spans_range() {
+        let mut s = Samples::from_values((1..=1000).map(|x| x as f64).collect());
+        let cdf = s.cdf(20);
+        assert_eq!(cdf.len(), 20);
+        assert_eq!(cdf.last().unwrap().0, 1000.0);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Samples::new().push(f64::NAN);
+    }
+
+    proptest::proptest! {
+        /// Percentiles are monotone in p and bounded by min/max.
+        #[test]
+        fn prop_percentile_monotone(mut vals in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            vals.retain(|v| !v.is_nan());
+            proptest::prop_assume!(!vals.is_empty());
+            let mut s = Samples::from_values(vals.clone());
+            let mut last = f64::MIN;
+            for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+                let v = s.percentile(p);
+                proptest::prop_assert!(v >= last);
+                last = v;
+            }
+            let lo = vals.iter().copied().fold(f64::MAX, f64::min);
+            let hi = vals.iter().copied().fold(f64::MIN, f64::max);
+            proptest::prop_assert!(s.percentile(0.0) >= lo - 1e-9);
+            proptest::prop_assert!(s.percentile(100.0) <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! Byte-range bookkeeping: receiver reassembly and the sender scoreboard.
+//!
+//! Both sides of SACK-based recovery reduce to maintaining a set of
+//! non-overlapping byte ranges: the receiver tracks which bytes have
+//! arrived (to compute the cumulative ACK and SACK blocks), the sender
+//! mirrors the receiver's state (to find retransmission holes). [`RangeSet`]
+//! is the shared core; [`RecvBuffer`] and [`Scoreboard`] are thin,
+//! intent-revealing wrappers.
+
+use std::collections::BTreeMap;
+
+use netsim::packet::SackBlock;
+
+/// A set of non-overlapping, non-adjacent half-open byte ranges.
+///
+/// # Examples
+///
+/// ```
+/// use transport::buffer::RangeSet;
+///
+/// let mut s = RangeSet::new();
+/// s.insert(0, 10);
+/// s.insert(20, 30);
+/// s.insert(10, 20); // bridges the gap
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 30)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RangeSet {
+    map: BTreeMap<u64, u64>, // start -> end
+}
+
+impl RangeSet {
+    /// Creates an empty set.
+    pub fn new() -> RangeSet {
+        RangeSet::default()
+    }
+
+    /// Inserts `[start, end)`, merging with overlapping or adjacent ranges.
+    ///
+    /// Empty ranges are ignored.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut s = start;
+        let mut e = end;
+        // Merge with a predecessor that overlaps or touches.
+        if let Some((&ps, &pe)) = self.map.range(..=s).next_back() {
+            if pe >= s {
+                s = ps;
+                e = e.max(pe);
+                self.map.remove(&ps);
+            }
+        }
+        // Merge with all successors starting within [s, e].
+        let successors: Vec<u64> = self
+            .map
+            .range(s..=e)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in successors {
+            let pe = self.map.remove(&k).expect("key just observed");
+            e = e.max(pe);
+        }
+        self.map.insert(s, e);
+    }
+
+    /// Removes all bytes below `cut`.
+    pub fn remove_below(&mut self, cut: u64) {
+        let keys: Vec<u64> = self.map.range(..cut).map(|(&k, _)| k).collect();
+        for k in keys {
+            let e = self.map.remove(&k).expect("key just observed");
+            if e > cut {
+                self.map.insert(cut, e);
+            }
+        }
+    }
+
+    /// Whether byte `pos` is contained in the set.
+    pub fn contains(&self, pos: u64) -> bool {
+        self.map
+            .range(..=pos)
+            .next_back()
+            .is_some_and(|(_, &e)| e > pos)
+    }
+
+    /// Whether the whole of `[start, end)` is contained.
+    pub fn covers(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        self.map
+            .range(..=start)
+            .next_back()
+            .is_some_and(|(_, &e)| e >= end)
+    }
+
+    /// End of the range containing `pos`, if any.
+    pub fn range_end_at(&self, pos: u64) -> Option<u64> {
+        self.map
+            .range(..=pos)
+            .next_back()
+            .and_then(|(_, &e)| (e > pos).then_some(e))
+    }
+
+    /// The first gap at or after `from` and strictly before `limit`, as
+    /// `(gap_start, gap_end)` clipped to `limit`.
+    pub fn first_gap(&self, from: u64, limit: u64) -> Option<(u64, u64)> {
+        let mut pos = from;
+        while pos < limit {
+            match self.range_end_at(pos) {
+                Some(e) => pos = e,
+                None => {
+                    // Gap starts at `pos`; it ends at the next range start.
+                    let gap_end = self
+                        .map
+                        .range(pos..)
+                        .next()
+                        .map(|(&s, _)| s)
+                        .unwrap_or(limit)
+                        .min(limit);
+                    return Some((pos, gap_end));
+                }
+            }
+        }
+        None
+    }
+
+    /// Total bytes in the set at or above `floor`.
+    pub fn bytes_above(&self, floor: u64) -> u64 {
+        self.map
+            .iter()
+            .map(|(&s, &e)| e.saturating_sub(s.max(floor)).min(e - s))
+            .sum()
+    }
+
+    /// Largest byte-end in the set, or `None` when empty.
+    pub fn max_end(&self) -> Option<u64> {
+        self.map.iter().next_back().map(|(_, &e)| e)
+    }
+
+    /// Iterates ranges in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&s, &e)| (s, e))
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of disjoint ranges.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Receiver-side reassembly buffer.
+///
+/// # Examples
+///
+/// ```
+/// use transport::RecvBuffer;
+///
+/// let mut rb = RecvBuffer::new(4000);
+/// rb.insert(0, 1000);
+/// rb.insert(2000, 3000); // out of order
+/// assert_eq!(rb.cumulative(), 1000);
+/// assert_eq!(rb.sack_blocks(3).len(), 1);
+/// rb.insert(1000, 2000);
+/// rb.insert(3000, 4000);
+/// assert!(rb.is_complete());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RecvBuffer {
+    ranges: RangeSet,
+    flow_bytes: u64,
+}
+
+impl RecvBuffer {
+    /// Creates a buffer expecting `flow_bytes` total bytes.
+    pub fn new(flow_bytes: u64) -> RecvBuffer {
+        RecvBuffer {
+            ranges: RangeSet::new(),
+            flow_bytes,
+        }
+    }
+
+    /// Records arrival of payload `[start, end)`.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        self.ranges.insert(start, end.min(self.flow_bytes));
+    }
+
+    /// The cumulative ACK point: bytes received contiguously from zero.
+    pub fn cumulative(&self) -> u64 {
+        self.ranges.range_end_at(0).unwrap_or(0)
+    }
+
+    /// Whether every byte of the flow has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.cumulative() >= self.flow_bytes
+    }
+
+    /// Up to `max` SACK blocks describing ranges above the cumulative point,
+    /// in ascending order.
+    pub fn sack_blocks(&self, max: usize) -> Vec<SackBlock> {
+        let cum = self.cumulative();
+        self.ranges
+            .iter()
+            .filter(|&(s, _)| s > cum)
+            .take(max)
+            .map(|(s, e)| SackBlock { start: s, end: e })
+            .collect()
+    }
+
+    /// Total flow size in bytes.
+    pub fn flow_bytes(&self) -> u64 {
+        self.flow_bytes
+    }
+}
+
+/// Sender-side SACK scoreboard: the sender's view of which bytes above
+/// `snd_una` the receiver holds.
+///
+/// # Examples
+///
+/// ```
+/// use transport::Scoreboard;
+/// use netsim::packet::SackBlock;
+///
+/// let mut sb = Scoreboard::new();
+/// sb.add_block(SackBlock { start: 2000, end: 3000 });
+/// // Bytes [1000, 2000) are a hole below the highest SACK: lost under
+/// // dupACK-threshold-1.
+/// assert_eq!(sb.first_hole(1000), Some((1000, 2000)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Scoreboard {
+    sacked: RangeSet,
+}
+
+impl Scoreboard {
+    /// Creates an empty scoreboard.
+    pub fn new() -> Scoreboard {
+        Scoreboard::default()
+    }
+
+    /// Records a SACK block from an incoming ACK.
+    pub fn add_block(&mut self, block: SackBlock) {
+        self.sacked.insert(block.start, block.end);
+    }
+
+    /// Advances the cumulative ACK point, discarding state below it.
+    pub fn on_cumulative_ack(&mut self, una: u64) {
+        self.sacked.remove_below(una);
+    }
+
+    /// Highest SACKed byte end, if any.
+    pub fn highest_sacked(&self) -> Option<u64> {
+        self.sacked.max_end()
+    }
+
+    /// SACKed bytes at or above `floor` (for pipe/flight estimation).
+    pub fn sacked_bytes_above(&self, floor: u64) -> u64 {
+        self.sacked.bytes_above(floor)
+    }
+
+    /// Whether `[start, end)` is entirely SACKed.
+    pub fn is_sacked(&self, start: u64, end: u64) -> bool {
+        self.sacked.covers(start, end)
+    }
+
+    /// The first un-SACKed range at or after `from` and below the highest
+    /// SACKed byte — i.e. the next segment considered lost under
+    /// dupACK-threshold 1 (§5: out-of-order delivery is rare under ECMP).
+    pub fn first_hole(&self, from: u64) -> Option<(u64, u64)> {
+        let limit = self.highest_sacked()?;
+        self.sacked.first_gap(from, limit)
+    }
+
+    /// Whether any hole exists at or above `from` (loss indication).
+    pub fn has_holes(&self, from: u64) -> bool {
+        self.first_hole(from).is_some()
+    }
+
+    /// The first un-SACKed range in `[from, limit)`, regardless of the
+    /// highest SACKed byte — used by RoCE senders to re-send everything
+    /// outstanding after a timeout.
+    pub fn first_unsacked_below(&self, from: u64, limit: u64) -> Option<(u64, u64)> {
+        self.sacked.first_gap(from, limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rangeset_merges_overlaps_and_adjacency() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert_eq!(s.len(), 2);
+        s.insert(15, 35); // bridges both
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(10, 40)]);
+        s.insert(40, 50); // adjacent
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(10, 50)]);
+        s.insert(0, 5); // disjoint
+        assert_eq!(s.len(), 2);
+        s.insert(2, 3); // contained
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn rangeset_ignores_empty() {
+        let mut s = RangeSet::new();
+        s.insert(5, 5);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn rangeset_remove_below_splits() {
+        let mut s = RangeSet::new();
+        s.insert(0, 100);
+        s.remove_below(40);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(40, 100)]);
+        s.remove_below(200);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn rangeset_queries() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert!(s.contains(10));
+        assert!(s.contains(19));
+        assert!(!s.contains(20));
+        assert!(!s.contains(25));
+        assert!(s.covers(10, 20));
+        assert!(!s.covers(10, 21));
+        assert!(s.covers(15, 15), "empty range trivially covered");
+        assert_eq!(s.range_end_at(12), Some(20));
+        assert_eq!(s.range_end_at(25), None);
+        assert_eq!(s.max_end(), Some(40));
+        assert_eq!(s.bytes_above(0), 20);
+        assert_eq!(s.bytes_above(15), 15);
+        assert_eq!(s.bytes_above(35), 5);
+    }
+
+    #[test]
+    fn rangeset_first_gap() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        assert_eq!(s.first_gap(0, 30), Some((10, 20)));
+        assert_eq!(s.first_gap(10, 30), Some((10, 20)));
+        assert_eq!(s.first_gap(20, 30), None);
+        assert_eq!(s.first_gap(0, 50), Some((10, 20)));
+        // Gap after last range, clipped by limit.
+        assert_eq!(s.first_gap(25, 50), Some((30, 50)));
+        // From inside the leading range.
+        assert_eq!(s.first_gap(5, 8), None);
+    }
+
+    #[test]
+    fn recv_buffer_cumulative_and_completion() {
+        let mut rb = RecvBuffer::new(3000);
+        assert_eq!(rb.cumulative(), 0);
+        rb.insert(1000, 2000);
+        assert_eq!(rb.cumulative(), 0, "no prefix yet");
+        rb.insert(0, 1000);
+        assert_eq!(rb.cumulative(), 2000);
+        assert!(!rb.is_complete());
+        rb.insert(2000, 3000);
+        assert!(rb.is_complete());
+    }
+
+    #[test]
+    fn recv_buffer_clips_past_flow_end() {
+        let mut rb = RecvBuffer::new(1500);
+        rb.insert(0, 4000);
+        assert_eq!(rb.cumulative(), 1500);
+        assert!(rb.is_complete());
+    }
+
+    #[test]
+    fn recv_buffer_sack_blocks_ascending_above_cum() {
+        let mut rb = RecvBuffer::new(100_000);
+        rb.insert(0, 1000);
+        rb.insert(2000, 3000);
+        rb.insert(5000, 6000);
+        rb.insert(8000, 9000);
+        let blocks = rb.sack_blocks(2);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0], SackBlock { start: 2000, end: 3000 });
+        assert_eq!(blocks[1], SackBlock { start: 5000, end: 6000 });
+        let all = rb.sack_blocks(8);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn scoreboard_holes_and_acks() {
+        let mut sb = Scoreboard::new();
+        assert!(!sb.has_holes(0));
+        sb.add_block(SackBlock { start: 3000, end: 4000 });
+        sb.add_block(SackBlock { start: 5000, end: 6000 });
+        // una = 1000: hole [1000, 3000), then [4000, 5000).
+        assert_eq!(sb.first_hole(1000), Some((1000, 3000)));
+        assert_eq!(sb.first_hole(3000), Some((4000, 5000)));
+        assert_eq!(sb.first_hole(5000), None);
+        assert!(sb.is_sacked(3000, 4000));
+        assert!(!sb.is_sacked(2999, 4000));
+        // Cumulative ACK to 4500 clears low state.
+        sb.on_cumulative_ack(4500);
+        assert_eq!(sb.first_hole(4500), Some((4500, 5000)));
+        assert_eq!(sb.sacked_bytes_above(0), 1000);
+    }
+
+    #[test]
+    fn scoreboard_no_hole_above_highest_sack() {
+        let mut sb = Scoreboard::new();
+        sb.add_block(SackBlock { start: 1000, end: 2000 });
+        // Bytes above 2000 are not holes (nothing SACKed above them).
+        assert_eq!(sb.first_hole(2000), None);
+        assert_eq!(sb.first_hole(0), Some((0, 1000)));
+    }
+
+    proptest::proptest! {
+        /// RangeSet matches a naive bitset model under arbitrary inserts
+        /// and cuts.
+        #[test]
+        fn prop_rangeset_model(ops in proptest::collection::vec((0u64..200, 0u64..200, proptest::bool::ANY), 1..60)) {
+            let mut s = RangeSet::new();
+            let mut model = vec![false; 220];
+            for (a, b, is_cut) in ops {
+                if is_cut {
+                    let cut = a.min(b);
+                    s.remove_below(cut);
+                    for (i, m) in model.iter_mut().enumerate() {
+                        if (i as u64) < cut { *m = false; }
+                    }
+                } else {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    s.insert(lo, hi);
+                    for (i, m) in model.iter_mut().enumerate() {
+                        if (i as u64) >= lo && (i as u64) < hi { *m = true; }
+                    }
+                }
+                for (i, &m) in model.iter().enumerate() {
+                    proptest::prop_assert_eq!(s.contains(i as u64), m, "mismatch at byte {}", i);
+                }
+            }
+        }
+
+        /// Receiver reassembly completes for any arrival permutation of a
+        /// segmented flow, and cumulative never regresses.
+        #[test]
+        fn prop_reassembly_completes(perm in proptest::sample::subsequence((0u64..20).collect::<Vec<_>>(), 20)) {
+            let mut rb = RecvBuffer::new(20 * 100);
+            let mut last_cum = 0;
+            // Insert the permuted subset, then the remainder.
+            let rest: Vec<u64> = (0..20).filter(|i| !perm.contains(i)).collect();
+            for &i in perm.iter().chain(rest.iter()) {
+                rb.insert(i * 100, (i + 1) * 100);
+                let c = rb.cumulative();
+                proptest::prop_assert!(c >= last_cum);
+                last_cum = c;
+            }
+            proptest::prop_assert!(rb.is_complete());
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The engine ↔ transport interface.
+//!
+//! A transport never touches the network directly: it receives packets and
+//! timer expirations from the engine and pushes [`Action`]s into a [`Ctx`].
+//! The engine materializes `Send` actions as packets entering the source
+//! host's NIC queue and manages timer generations so that a re-armed timer
+//! silently invalidates its predecessor.
+
+use eventsim::SimTime;
+use netsim::packet::Packet;
+
+/// Logical timers a transport may arm. Each kind is a separate slot: arming
+/// a kind again moves that timer; cancelling clears it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TimerKind {
+    /// Retransmission timeout.
+    Rto,
+    /// Tail loss probe (PTO).
+    Tlp,
+    /// Rate-limiter pacing tick (rate-based senders).
+    Pace,
+    /// DCQCN α-decay timer (55 μs without CNP).
+    DcqcnAlpha,
+    /// DCQCN rate-increase timer.
+    DcqcnIncrease,
+}
+
+/// An effect requested by a transport.
+#[derive(Clone, Debug)]
+pub enum Action {
+    /// Transmit `packet` (direction chosen by `packet.dir`).
+    Send(Packet),
+    /// Arm (or move) the timer of the given kind to fire at `at`.
+    SetTimer {
+        /// Which timer slot.
+        kind: TimerKind,
+        /// Absolute expiry time.
+        at: SimTime,
+    },
+    /// Disarm the timer of the given kind.
+    CancelTimer {
+        /// Which timer slot.
+        kind: TimerKind,
+    },
+}
+
+/// Per-event context handed to transport callbacks.
+///
+/// # Examples
+///
+/// ```
+/// use transport::{Ctx, Action, TimerKind};
+/// use eventsim::SimTime;
+/// use netsim::packet::{Packet, FlowId};
+///
+/// let mut actions = Vec::new();
+/// let mut ctx = Ctx { now: SimTime::from_us(5), actions: &mut actions };
+/// ctx.send(Packet::ack(FlowId(0), 100));
+/// ctx.set_timer(TimerKind::Rto, SimTime::from_ms(4));
+/// assert_eq!(ctx.actions.len(), 2);
+/// ```
+pub struct Ctx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Output action list (drained by the engine after the callback).
+    pub actions: &'a mut Vec<Action>,
+}
+
+impl Ctx<'_> {
+    /// Queues a packet for transmission.
+    pub fn send(&mut self, packet: Packet) {
+        self.actions.push(Action::Send(packet));
+    }
+
+    /// Arms timer `kind` to fire at absolute time `at`.
+    pub fn set_timer(&mut self, kind: TimerKind, at: SimTime) {
+        self.actions.push(Action::SetTimer { kind, at });
+    }
+
+    /// Disarms timer `kind`.
+    pub fn cancel_timer(&mut self, kind: TimerKind) {
+        self.actions.push(Action::CancelTimer { kind });
+    }
+}
+
+/// Counters every sender exposes for the experiment harness.
+#[derive(Clone, Debug, Default)]
+pub struct SenderStats {
+    /// Retransmission timeouts taken.
+    pub timeouts: u64,
+    /// Segments retransmitted by fast recovery (incl. NACK-triggered).
+    pub fast_retx: u64,
+    /// Segments retransmitted after an RTO.
+    pub rto_retx: u64,
+    /// Data packets sent (including retransmissions and probes).
+    pub data_pkts_sent: u64,
+    /// Payload bytes sent (including retransmissions).
+    pub bytes_sent: u64,
+    /// Data packets marked TLT-important.
+    pub important_pkts: u64,
+    /// Data packets left unimportant.
+    pub unimportant_pkts: u64,
+    /// Important ACK-clocking packets injected.
+    pub clocking_pkts: u64,
+    /// Payload bytes carried by clocking packets.
+    pub clocking_bytes: u64,
+    /// Reservoir of RTT samples (bounded).
+    pub rtt_samples: Vec<SimTime>,
+    /// Largest estimated RTO observed over the flow's lifetime.
+    pub rto_max: SimTime,
+    /// Segment delivery time samples (first transmission → cumulative ACK),
+    /// collected only when the sender was configured to do so.
+    pub delivery_samples: Vec<SimTime>,
+}
+
+/// A sender-side transport state machine.
+pub trait FlowSender {
+    /// Starts the flow: transmit the initial window / first paced packet.
+    fn start(&mut self, ctx: &mut Ctx);
+    /// Handles a reverse-direction packet (ACK / NACK / CNP).
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx);
+    /// Handles an expired timer of kind `kind`.
+    fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx);
+    /// All payload bytes acknowledged.
+    fn is_done(&self) -> bool;
+    /// Counters for the harness.
+    fn stats(&self) -> &SenderStats;
+}
+
+/// A receiver-side transport state machine.
+pub trait FlowReceiver {
+    /// Handles a forward-direction (data) packet.
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx);
+    /// Handles an expired timer (unused by current receivers).
+    fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
+        let _ = (kind, ctx);
+    }
+    /// Bytes received contiguously from offset zero.
+    fn bytes_complete(&self) -> u64;
+    /// Whether the entire flow has been received.
+    fn is_complete(&self) -> bool;
+}
+
+/// Which TLT flavor (if any) a transport instance runs with.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum TltMode {
+    /// TLT disabled: baseline transport, all packets green.
+    #[default]
+    Off,
+    /// Window-based TLT (§5.1) with the given clocking policy.
+    Window(tlt_core::WindowTltConfig),
+    /// Rate-based TLT (§5.2) with the given periodic-marking setting.
+    Rate(tlt_core::RateTltConfig),
+}
+
+impl TltMode {
+    /// Whether TLT is enabled at all (drives `Packet::colorize`).
+    pub fn enabled(&self) -> bool {
+        !matches!(self, TltMode::Off)
+    }
+}
+
+/// The transports evaluated in the paper (§7.1 baselines).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportKind {
+    /// TCP NewReno with SACK.
+    Tcp,
+    /// DCTCP.
+    Dctcp,
+    /// Vanilla DCQCN: go-back-N recovery, static RTO.
+    DcqcnGbn,
+    /// DCQCN with SACK (IRN recovery without the BDP window cap).
+    DcqcnSack,
+    /// DCQCN with IRN: selective retransmission + BDP-bounded window.
+    DcqcnIrn,
+    /// HPCC with SACK recovery.
+    Hpcc,
+}
+
+impl TransportKind {
+    /// Whether this transport is RoCE-based (1 μs links, RED ECN in the
+    /// paper's setup) rather than TCP-based.
+    pub fn is_roce(self) -> bool {
+        matches!(
+            self,
+            TransportKind::DcqcnGbn
+                | TransportKind::DcqcnSack
+                | TransportKind::DcqcnIrn
+                | TransportKind::Hpcc
+        )
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Tcp => "TCP",
+            TransportKind::Dctcp => "DCTCP",
+            TransportKind::DcqcnGbn => "DCQCN",
+            TransportKind::DcqcnSack => "DCQCN+SACK",
+            TransportKind::DcqcnIrn => "DCQCN+IRN",
+            TransportKind::Hpcc => "HPCC",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::FlowId;
+
+    #[test]
+    fn ctx_collects_actions_in_order() {
+        let mut actions = Vec::new();
+        let mut ctx = Ctx {
+            now: SimTime::ZERO,
+            actions: &mut actions,
+        };
+        ctx.send(Packet::data(FlowId(1), 0, 100));
+        ctx.set_timer(TimerKind::Rto, SimTime::from_ms(4));
+        ctx.cancel_timer(TimerKind::Tlp);
+        assert!(matches!(actions[0], Action::Send(_)));
+        assert!(matches!(
+            actions[1],
+            Action::SetTimer {
+                kind: TimerKind::Rto,
+                ..
+            }
+        ));
+        assert!(matches!(
+            actions[2],
+            Action::CancelTimer {
+                kind: TimerKind::Tlp
+            }
+        ));
+    }
+
+    #[test]
+    fn transport_kind_classification() {
+        assert!(!TransportKind::Tcp.is_roce());
+        assert!(!TransportKind::Dctcp.is_roce());
+        assert!(TransportKind::DcqcnGbn.is_roce());
+        assert!(TransportKind::DcqcnSack.is_roce());
+        assert!(TransportKind::DcqcnIrn.is_roce());
+        assert!(TransportKind::Hpcc.is_roce());
+        assert_eq!(TransportKind::DcqcnIrn.name(), "DCQCN+IRN");
+    }
+
+    #[test]
+    fn tlt_mode_enabled() {
+        assert!(!TltMode::Off.enabled());
+        assert!(TltMode::Window(Default::default()).enabled());
+        assert!(TltMode::Rate(Default::default()).enabled());
+    }
+}

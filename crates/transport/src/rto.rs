@@ -1,0 +1,221 @@
+//! Retransmission timeout estimation.
+//!
+//! Implements the Linux/RFC 6298 estimator the paper assumes (§2.1): on each
+//! RTT sample `R`, `SRTT ← 7/8·SRTT + 1/8·R`, `RTTVAR ← 3/4·RTTVAR +
+//! 1/4·|SRTT − R|`, and `RTO = SRTT + max(G, 4·RTTVAR)` clamped to
+//! `[RTO_min, RTO_max]`, where `G` is the timer granularity. The paper's
+//! experiments vary `RTO_min` (4 ms Linux default, 200 μs high-resolution
+//! timer) and also use a *fixed* RTO (Figure 2), so both modes are first
+//! class here.
+
+use eventsim::SimTime;
+
+/// How the retransmission timeout is derived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtoMode {
+    /// RFC 6298 estimation with the given minimum RTO.
+    Estimated {
+        /// Lower clamp (the paper's RTO_min: 4 ms default, 200 μs variant).
+        min: SimTime,
+    },
+    /// A fixed RTO regardless of measured RTT (Figure 2's 160 μs).
+    Fixed(SimTime),
+}
+
+impl RtoMode {
+    /// The Linux-default estimator: RTO_min = 4 ms.
+    pub fn linux_default() -> RtoMode {
+        RtoMode::Estimated {
+            min: SimTime::from_ms(4),
+        }
+    }
+
+    /// The high-resolution-timer variant: RTO_min = 200 μs \[54\].
+    pub fn microsecond() -> RtoMode {
+        RtoMode::Estimated {
+            min: SimTime::from_us(200),
+        }
+    }
+}
+
+/// Upper clamp applied in every mode.
+const RTO_MAX: SimTime = SimTime::from_secs(4);
+
+/// An RFC 6298-style RTO estimator with pluggable mode.
+///
+/// # Examples
+///
+/// ```
+/// use transport::{RtoEstimator, RtoMode};
+/// use eventsim::SimTime;
+///
+/// let mut est = RtoEstimator::new(RtoMode::microsecond(), SimTime::from_us(10));
+/// est.on_sample(SimTime::from_us(100));
+/// // First sample: SRTT = 100us, RTTVAR = 50us -> RTO = 100 + 200 = 300us.
+/// assert_eq!(est.rto(), SimTime::from_us(300));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RtoEstimator {
+    mode: RtoMode,
+    granularity: SimTime,
+    srtt: Option<SimTime>,
+    rttvar: SimTime,
+}
+
+impl RtoEstimator {
+    /// Creates an estimator. `granularity` models the timer subsystem's
+    /// resolution (10 μs for the paper's high-resolution VMA timer).
+    pub fn new(mode: RtoMode, granularity: SimTime) -> RtoEstimator {
+        RtoEstimator {
+            mode,
+            granularity,
+            srtt: None,
+            rttvar: SimTime::ZERO,
+        }
+    }
+
+    /// Feeds one RTT sample.
+    pub fn on_sample(&mut self, rtt: SimTime) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = SimTime::from_ns(rtt.as_ns() / 2);
+            }
+            Some(srtt) => {
+                let err = srtt.as_ns().abs_diff(rtt.as_ns());
+                self.rttvar = SimTime::from_ns((3 * self.rttvar.as_ns() + err) / 4);
+                self.srtt = Some(SimTime::from_ns((7 * srtt.as_ns() + rtt.as_ns()) / 8));
+            }
+        }
+    }
+
+    /// The current smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<SimTime> {
+        self.srtt
+    }
+
+    /// The current retransmission timeout (without backoff).
+    ///
+    /// Before the first sample, returns a conservative default (`RTO_min` in
+    /// estimated mode — flows start with the minimum, as VMA does — or the
+    /// fixed value).
+    pub fn rto(&self) -> SimTime {
+        match self.mode {
+            RtoMode::Fixed(t) => t,
+            RtoMode::Estimated { min } => {
+                let raw = match self.srtt {
+                    None => min,
+                    Some(srtt) => {
+                        let var_term = (4 * self.rttvar.as_ns()).max(self.granularity.as_ns());
+                        SimTime::from_ns(srtt.as_ns() + var_term)
+                    }
+                };
+                raw.max(min).min(RTO_MAX)
+            }
+        }
+    }
+
+    /// The RTO with exponential backoff applied (`rto << exp`, clamped).
+    pub fn rto_backed_off(&self, exp: u32) -> SimTime {
+        let base = self.rto().as_ns();
+        let shifted = base.saturating_mul(1u64 << exp.min(16));
+        SimTime::from_ns(shifted).min(RTO_MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes_per_rfc() {
+        let mut est = RtoEstimator::new(
+            RtoMode::Estimated {
+                min: SimTime::from_us(1),
+            },
+            SimTime::from_us(1),
+        );
+        est.on_sample(SimTime::from_us(80));
+        assert_eq!(est.srtt(), Some(SimTime::from_us(80)));
+        // RTO = 80 + 4*40 = 240us.
+        assert_eq!(est.rto(), SimTime::from_us(240));
+    }
+
+    #[test]
+    fn steady_rtt_converges_to_small_variance() {
+        let mut est = RtoEstimator::new(
+            RtoMode::Estimated {
+                min: SimTime::from_us(1),
+            },
+            SimTime::from_us(1),
+        );
+        for _ in 0..100 {
+            est.on_sample(SimTime::from_us(80));
+        }
+        // Variance decays toward zero; RTO approaches SRTT + granularity.
+        assert!(est.rto() < SimTime::from_us(100), "rto = {}", est.rto());
+        assert_eq!(est.srtt(), Some(SimTime::from_us(80)));
+    }
+
+    #[test]
+    fn variable_rtt_inflates_rto() {
+        // §2.1: bursty traffic leads to a large estimated RTO.
+        let mut est = RtoEstimator::new(RtoMode::microsecond(), SimTime::from_us(10));
+        for i in 0..50 {
+            let rtt = if i % 2 == 0 { 80 } else { 800 };
+            est.on_sample(SimTime::from_us(rtt));
+        }
+        assert!(
+            est.rto() > SimTime::from_ms(1),
+            "volatile RTTs should push RTO past 1 ms, got {}",
+            est.rto()
+        );
+    }
+
+    #[test]
+    fn rto_min_clamps() {
+        let mut est = RtoEstimator::new(RtoMode::linux_default(), SimTime::from_us(10));
+        for _ in 0..50 {
+            est.on_sample(SimTime::from_us(80));
+        }
+        assert_eq!(est.rto(), SimTime::from_ms(4), "clamped at RTO_min");
+    }
+
+    #[test]
+    fn fixed_mode_ignores_samples() {
+        let mut est = RtoEstimator::new(RtoMode::Fixed(SimTime::from_us(160)), SimTime::from_us(10));
+        assert_eq!(est.rto(), SimTime::from_us(160));
+        est.on_sample(SimTime::from_ms(10));
+        assert_eq!(est.rto(), SimTime::from_us(160));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let est = RtoEstimator::new(RtoMode::Fixed(SimTime::from_ms(1)), SimTime::from_us(10));
+        assert_eq!(est.rto_backed_off(0), SimTime::from_ms(1));
+        assert_eq!(est.rto_backed_off(1), SimTime::from_ms(2));
+        assert_eq!(est.rto_backed_off(3), SimTime::from_ms(8));
+        assert_eq!(est.rto_backed_off(60), SimTime::from_secs(4), "clamped at RTO_max");
+    }
+
+    #[test]
+    fn default_rto_before_samples() {
+        let est = RtoEstimator::new(RtoMode::linux_default(), SimTime::from_us(10));
+        assert_eq!(est.rto(), SimTime::from_ms(4));
+    }
+
+    proptest::proptest! {
+        /// RTO is always within [min, max] for any sample sequence.
+        #[test]
+        fn prop_rto_bounds(samples in proptest::collection::vec(1u64..10_000_000, 1..100)) {
+            let min = SimTime::from_us(200);
+            let mut est = RtoEstimator::new(RtoMode::Estimated { min }, SimTime::from_us(10));
+            for s in samples {
+                est.on_sample(SimTime::from_ns(s));
+                let rto = est.rto();
+                proptest::prop_assert!(rto >= min);
+                proptest::prop_assert!(rto <= SimTime::from_secs(4));
+            }
+        }
+    }
+}

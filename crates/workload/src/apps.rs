@@ -1,0 +1,120 @@
+//! Application-level traffic emulation (§7.3–7.4).
+
+use dcsim::FlowSpec;
+use eventsim::{SimRng, SimTime};
+
+/// The testbed incast microbenchmark (§7.4, Figure 14): a client (host 0)
+/// requests `bytes` of data from `n_flows` connections spread round-robin
+/// over `n_servers` servers (hosts 1..=n_servers); all responses start
+/// (nearly) simultaneously. A small per-flow jitter models request fan-out
+/// serialization at the client.
+///
+/// # Examples
+///
+/// ```
+/// use workload::incast_burst;
+///
+/// let flows = incast_burst(100, 8, 32_000, 42);
+/// assert_eq!(flows.len(), 100);
+/// assert!(flows.iter().all(|f| f.dst == 0 && f.fg));
+/// ```
+pub fn incast_burst(n_flows: usize, n_servers: usize, bytes: u64, seed: u64) -> Vec<FlowSpec> {
+    assert!(n_servers >= 1);
+    let mut rng = SimRng::seed_from(seed);
+    (0..n_flows)
+        .map(|i| {
+            let server = 1 + (i % n_servers);
+            // Requests leave the client back-to-back: ~100 ns apart, plus
+            // scheduling jitter.
+            let jitter = rng.gen_range_u64(0..1_000);
+            FlowSpec::new(
+                server,
+                0,
+                bytes,
+                SimTime::from_ns(i as u64 * 100 + jitter),
+                true,
+            )
+        })
+        .collect()
+}
+
+/// The Redis SET emulation (§7.3, Figure 12): an HTTP client issues
+/// `requests` requests evenly across `n_web` web servers; each request
+/// makes its web server push a `bytes`-byte SET to the cache node (host 0)
+/// over a persistent connection. The client-observed response time is the
+/// FCT of the corresponding SET flow (plus a constant the emulation drops).
+pub fn cache_requests(requests: usize, n_web: usize, bytes: u64, seed: u64) -> Vec<FlowSpec> {
+    incast_burst(requests, n_web, bytes, seed)
+}
+
+/// The mixed-traffic variant (§7.3, Figure 13): `requests` foreground SETs
+/// competing with one long `bg_bytes` background flow into the same cache
+/// node, started slightly earlier so it is in steady state.
+pub fn cache_mixed(
+    requests: usize,
+    n_web: usize,
+    bytes: u64,
+    bg_bytes: u64,
+    seed: u64,
+) -> Vec<FlowSpec> {
+    let n_hosts_used = 1 + n_web;
+    let mut flows = vec![FlowSpec::new(
+        n_hosts_used, // a dedicated host beyond the web servers
+        0,
+        bg_bytes,
+        SimTime::ZERO,
+        false,
+    )];
+    let mut fg = cache_requests(requests, n_web, bytes, seed);
+    // Give the background flow a head start (it must be in steady state
+    // when the burst hits, as in the testbed run).
+    for f in &mut fg {
+        f.start = f.start + SimTime::from_us(200);
+    }
+    flows.extend(fg);
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_round_robins_servers() {
+        let flows = incast_burst(16, 8, 32_000, 1);
+        for (i, f) in flows.iter().enumerate() {
+            assert_eq!(f.src, 1 + (i % 8));
+            assert_eq!(f.dst, 0);
+            assert_eq!(f.bytes, 32_000);
+            assert!(f.fg);
+        }
+        // Starts are nearly simultaneous (within ~4 us).
+        let max = flows.iter().map(|f| f.start).max().unwrap();
+        assert!(max < SimTime::from_us(4));
+    }
+
+    #[test]
+    fn burst_is_deterministic() {
+        let a = incast_burst(32, 8, 32_000, 5);
+        let b = incast_burst(32, 8, 32_000, 5);
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.start == y.start));
+    }
+
+    #[test]
+    fn mixed_has_one_early_background_flow() {
+        let flows = cache_mixed(152, 8, 32_000, 8_000_000, 3);
+        let bg: Vec<_> = flows.iter().filter(|f| !f.fg).collect();
+        assert_eq!(bg.len(), 1);
+        assert_eq!(bg[0].bytes, 8_000_000);
+        assert_eq!(bg[0].src, 9, "bulk sender is a dedicated host");
+        assert_eq!(bg[0].start, SimTime::ZERO);
+        let fg_min = flows
+            .iter()
+            .filter(|f| f.fg)
+            .map(|f| f.start)
+            .min()
+            .unwrap();
+        assert!(fg_min >= SimTime::from_us(200), "bg gets a head start");
+        assert_eq!(flows.iter().filter(|f| f.fg).count(), 152);
+    }
+}

@@ -1,0 +1,247 @@
+//! Empirical flow-size distributions.
+
+use eventsim::SimRng;
+
+/// A piecewise-linear flow-size CDF sampled by inverse transform.
+///
+/// Points are `(bytes, cumulative_probability)` with strictly increasing
+/// bytes and probabilities, ending at probability 1.0.
+///
+/// # Examples
+///
+/// ```
+/// use workload::FlowSizeCdf;
+/// use eventsim::SimRng;
+///
+/// let cdf = FlowSizeCdf::web_search();
+/// let mut rng = SimRng::seed_from(1);
+/// let size = cdf.sample(&mut rng);
+/// assert!(size >= 1);
+/// // The paper quotes ~1.7 MB mean for this workload.
+/// assert!(cdf.mean_bytes() > 500_000.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlowSizeCdf {
+    points: Vec<(u64, f64)>,
+    name: &'static str,
+}
+
+impl FlowSizeCdf {
+    /// Builds a CDF from `(bytes, probability)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points are not strictly increasing in both
+    /// coordinates, or the last probability is not 1.0.
+    pub fn new(name: &'static str, points: Vec<(u64, f64)>) -> FlowSizeCdf {
+        assert!(points.len() >= 2, "need at least two points");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "bytes must increase");
+            assert!(w[0].1 < w[1].1, "probability must increase");
+        }
+        assert!(
+            (points.last().expect("nonempty").1 - 1.0).abs() < 1e-9,
+            "CDF must end at 1.0"
+        );
+        assert!(points[0].1 >= 0.0);
+        FlowSizeCdf { points, name }
+    }
+
+    /// The Web Search workload \[17\]: heavy-tailed, mean in the megabytes —
+    /// the paper's default background traffic (avg ≈ 1.7 MB).
+    pub fn web_search() -> FlowSizeCdf {
+        FlowSizeCdf::new(
+            "web_search",
+            vec![
+                (1_000, 0.0),
+                (6_000, 0.15),
+                (13_000, 0.20),
+                (19_000, 0.30),
+                (33_000, 0.40),
+                (53_000, 0.53),
+                (133_000, 0.60),
+                (667_000, 0.70),
+                (1_333_000, 0.80),
+                (3_333_000, 0.90),
+                (6_667_000, 0.95),
+                (20_000_000, 0.98),
+                (30_000_000, 1.0),
+            ],
+        )
+    }
+
+    /// The Web Server workload \[49\]: dominated by small responses.
+    pub fn web_server() -> FlowSizeCdf {
+        FlowSizeCdf::new(
+            "web_server",
+            vec![
+                (100, 0.0),
+                (300, 0.10),
+                (1_000, 0.40),
+                (2_000, 0.60),
+                (5_000, 0.80),
+                (10_000, 0.90),
+                (100_000, 0.99),
+                (1_000_000, 1.0),
+            ],
+        )
+    }
+
+    /// The Cache Follower workload \[49\]: small/medium objects with an
+    /// occasional large transfer.
+    pub fn cache_follower() -> FlowSizeCdf {
+        FlowSizeCdf::new(
+            "cache_follower",
+            vec![
+                (100, 0.0),
+                (500, 0.05),
+                (1_000, 0.20),
+                (2_000, 0.40),
+                (5_000, 0.70),
+                (10_000, 0.80),
+                (100_000, 0.96),
+                (1_000_000, 0.999),
+                (10_000_000, 1.0),
+            ],
+        )
+    }
+
+    /// A degenerate CDF: every flow is exactly `bytes` long.
+    pub fn fixed(bytes: u64) -> FlowSizeCdf {
+        assert!(bytes >= 2, "fixed size too small");
+        FlowSizeCdf {
+            points: vec![(bytes - 1, 0.0), (bytes, 1.0)],
+            name: "fixed",
+        }
+    }
+
+    /// Workload name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Draws one flow size.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.gen_unit_f64();
+        self.quantile(u)
+    }
+
+    /// The size at quantile `u` ∈ [0, 1].
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let mut prev = self.points[0];
+        if u <= prev.1 {
+            return prev.0.max(1);
+        }
+        for &(b, p) in &self.points[1..] {
+            if u <= p {
+                let frac = (u - prev.1) / (p - prev.1);
+                return (prev.0 as f64 + frac * (b - prev.0) as f64) as u64;
+            }
+            prev = (b, p);
+        }
+        self.points.last().expect("nonempty").0
+    }
+
+    /// The analytic mean of the piecewise-linear distribution.
+    pub fn mean_bytes(&self) -> f64 {
+        let mut mean = self.points[0].0 as f64 * self.points[0].1;
+        for w in self.points.windows(2) {
+            let (b0, p0) = w[0];
+            let (b1, p1) = w[1];
+            mean += (p1 - p0) * (b0 + b1) as f64 / 2.0;
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_endpoints() {
+        let cdf = FlowSizeCdf::web_search();
+        assert_eq!(cdf.quantile(0.0), 1_000);
+        assert_eq!(cdf.quantile(1.0), 30_000_000);
+        // Interpolation inside a segment.
+        let q = cdf.quantile(0.175); // halfway between 0.15 and 0.20
+        assert!(q > 6_000 && q < 13_000, "q = {q}");
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic_mean() {
+        for cdf in [
+            FlowSizeCdf::web_search(),
+            FlowSizeCdf::web_server(),
+            FlowSizeCdf::cache_follower(),
+        ] {
+            let mut rng = SimRng::seed_from(42);
+            let n = 200_000;
+            let sum: f64 = (0..n).map(|_| cdf.sample(&mut rng) as f64).sum();
+            let emp = sum / n as f64;
+            let ana = cdf.mean_bytes();
+            assert!(
+                (emp - ana).abs() / ana < 0.03,
+                "{}: empirical {emp} vs analytic {ana}",
+                cdf.name()
+            );
+        }
+    }
+
+    #[test]
+    fn web_search_mean_is_megabyte_scale() {
+        let m = FlowSizeCdf::web_search().mean_bytes();
+        assert!(
+            (1.0e6..3.0e6).contains(&m),
+            "web search mean {m} should be MB-scale (paper: 1.72 MB)"
+        );
+    }
+
+    #[test]
+    fn small_workloads_have_small_means() {
+        assert!(FlowSizeCdf::web_server().mean_bytes() < 20_000.0);
+        assert!(FlowSizeCdf::cache_follower().mean_bytes() < 60_000.0);
+    }
+
+    #[test]
+    fn fixed_is_constant() {
+        let cdf = FlowSizeCdf::fixed(32_000);
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..100 {
+            let s = cdf.sample(&mut rng);
+            assert!(s == 32_000 || s == 31_999);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "end at 1.0")]
+    fn incomplete_cdf_rejected() {
+        let _ = FlowSizeCdf::new("bad", vec![(1, 0.0), (2, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bytes must increase")]
+    fn non_monotone_bytes_rejected() {
+        let _ = FlowSizeCdf::new("bad", vec![(5, 0.0), (5, 1.0)]);
+    }
+
+    proptest::proptest! {
+        /// Sampling always lands inside the distribution's support.
+        #[test]
+        fn prop_sample_in_support(seed in 0u64..1000) {
+            let cdf = FlowSizeCdf::web_search();
+            let mut rng = SimRng::seed_from(seed);
+            let s = cdf.sample(&mut rng);
+            proptest::prop_assert!((1_000..=30_000_000).contains(&s));
+        }
+
+        /// Quantile is monotone in u.
+        #[test]
+        fn prop_quantile_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let cdf = FlowSizeCdf::cache_follower();
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            proptest::prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+        }
+    }
+}

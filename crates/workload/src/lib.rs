@@ -1,0 +1,28 @@
+//! Datacenter traffic generators.
+//!
+//! Reproduces the workloads of the paper's evaluation (§7):
+//!
+//! - [`FlowSizeCdf`]: piecewise-linear empirical flow-size distributions,
+//!   with the three published datacenter workloads the paper uses — Web
+//!   Search \[17\], Web Server \[49\], and Cache Follower \[49\] — embedded as
+//!   data tables (approximations of the published CDFs; the load
+//!   calibration uses each table's *computed* mean, so offered load is
+//!   self-consistent);
+//! - [`standard_mix`]: the §7.1 benchmark — Poisson background flows
+//!   between random host pairs plus synchronized incast foreground bursts
+//!   (N senders × F flows × S bytes to one receiver), calibrated so the
+//!   ToR↔core links carry the requested load and the foreground makes up
+//!   the requested fraction of volume;
+//! - [`incast_burst`]: the testbed microbenchmark (§7.4) — one client
+//!   requests data from many servers simultaneously;
+//! - [`cache_requests`] / [`cache_mixed`]: the Redis/NGINX application
+//!   emulation (§7.3) — web servers issuing 32 kB SETs toward one cache
+//!   node, optionally competing with a bulk background flow.
+
+mod apps;
+mod cdf;
+mod mix;
+
+pub use apps::{cache_mixed, cache_requests, incast_burst};
+pub use cdf::FlowSizeCdf;
+pub use mix::{standard_mix, MixParams};

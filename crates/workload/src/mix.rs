@@ -1,0 +1,276 @@
+//! The §7.1 benchmark mix: Poisson background + synchronized incasts.
+
+use dcsim::FlowSpec;
+use eventsim::{SimRng, SimTime};
+
+use crate::cdf::FlowSizeCdf;
+
+/// Parameters of the standard traffic mix.
+///
+/// The paper's full-scale instance: 96 hosts (12 ToRs × 8), 4 cores,
+/// 40 Gbps links, 40% ToR↔core load, foreground = 5% of volume as incasts
+/// of 8 flows × 8 kB from every other host to one receiver, 10 k background
+/// flows.
+#[derive(Clone, Copy, Debug)]
+pub struct MixParams {
+    /// Total hosts.
+    pub hosts: usize,
+    /// Leaf switches (for the inter-rack probability); 1 for single-switch.
+    pub tors: usize,
+    /// Spine switches (uplinks per ToR); ignored when `tors == 1`.
+    pub cores: usize,
+    /// Link bandwidth in bits per second.
+    pub link_bw_bps: u64,
+    /// Target average utilization of the ToR↔core links from background
+    /// traffic (the paper's "load").
+    pub load: f64,
+    /// Fraction of total traffic volume carried by foreground incasts.
+    pub fg_fraction: f64,
+    /// Number of background flows to generate.
+    pub bg_flows: usize,
+    /// Incast senders per event (the paper: all 95 other hosts).
+    pub incast_senders: usize,
+    /// Flows each sender contributes per incast event.
+    pub incast_flows_per_sender: u32,
+    /// Size of each foreground flow.
+    pub incast_flow_bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MixParams {
+    /// The paper's §7.1 configuration at full scale.
+    pub fn paper() -> MixParams {
+        MixParams {
+            hosts: 96,
+            tors: 12,
+            cores: 4,
+            link_bw_bps: 40_000_000_000,
+            load: 0.4,
+            fg_fraction: 0.05,
+            bg_flows: 10_000,
+            incast_senders: 95,
+            incast_flows_per_sender: 8,
+            incast_flow_bytes: 8_000,
+            seed: 1,
+        }
+    }
+
+    /// A reduced-scale variant that keeps the same ratios but runs in
+    /// seconds: 48 hosts (6 ToRs × 8), `bg_flows` background flows.
+    pub fn reduced(bg_flows: usize) -> MixParams {
+        MixParams {
+            hosts: 48,
+            tors: 6,
+            cores: 4,
+            link_bw_bps: 40_000_000_000,
+            load: 0.4,
+            fg_fraction: 0.05,
+            bg_flows,
+            incast_senders: 47,
+            incast_flows_per_sender: 8,
+            incast_flow_bytes: 8_000,
+            seed: 1,
+        }
+    }
+
+    /// Probability a random sender/receiver pair crosses the core.
+    fn inter_rack_probability(&self) -> f64 {
+        if self.tors <= 1 {
+            return 1.0; // single switch: every byte crosses "the fabric"
+        }
+        let hosts_per_tor = self.hosts / self.tors;
+        1.0 - (hosts_per_tor.saturating_sub(1)) as f64 / (self.hosts - 1).max(1) as f64
+    }
+
+    /// Background flow arrival rate (flows/sec) hitting the target load.
+    fn bg_arrival_rate(&self, mean_flow_bytes: f64) -> f64 {
+        // Aggregate one-direction uplink capacity; background bytes cross
+        // it with probability `p_inter`.
+        let uplink_capacity = if self.tors <= 1 {
+            // Single switch: interpret load against the receiver links.
+            (self.hosts as u64 * self.link_bw_bps) as f64 / 2.0
+        } else {
+            (self.tors * self.cores) as f64 * self.link_bw_bps as f64
+        };
+        let target_bits_per_sec = self.load * uplink_capacity;
+        let bits_per_flow_crossing = mean_flow_bytes * 8.0 * self.inter_rack_probability();
+        target_bits_per_sec / bits_per_flow_crossing
+    }
+}
+
+/// Generates the standard mix: `bg_flows` Poisson background flows between
+/// random distinct host pairs, plus Poisson-arriving incast events sized so
+/// foreground traffic is `fg_fraction` of total volume.
+///
+/// Returns the flow list; the simulated time span follows from
+/// `bg_flows / arrival_rate`.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{standard_mix, FlowSizeCdf, MixParams};
+///
+/// let mut p = MixParams::reduced(200);
+/// p.seed = 7;
+/// let flows = standard_mix(&FlowSizeCdf::web_search(), p);
+/// assert!(flows.iter().any(|f| f.fg));
+/// assert!(flows.iter().filter(|f| !f.fg).count() == 200);
+/// ```
+pub fn standard_mix(cdf: &FlowSizeCdf, p: MixParams) -> Vec<FlowSpec> {
+    assert!(p.hosts >= 2, "need at least two hosts");
+    assert!((0.0..1.0).contains(&p.fg_fraction), "fg fraction in [0,1)");
+    assert!(p.incast_senders < p.hosts, "senders must exclude the receiver");
+    let mut rng = SimRng::seed_from(p.seed);
+    let mut flows = Vec::with_capacity(p.bg_flows + 64);
+
+    // Background: Poisson arrivals between uniformly random distinct pairs.
+    let mean = cdf.mean_bytes();
+    let rate = p.bg_arrival_rate(mean);
+    let mean_gap_secs = 1.0 / rate;
+    let mut t = 0.0f64;
+    for _ in 0..p.bg_flows {
+        t += rng.gen_exponential(mean_gap_secs);
+        let src = rng.gen_range_usize(0..p.hosts);
+        let dst = loop {
+            let d = rng.gen_range_usize(0..p.hosts);
+            if d != src {
+                break d;
+            }
+        };
+        flows.push(FlowSpec::new(
+            src,
+            dst,
+            cdf.quantile(rng.gen_unit_f64()).max(100),
+            SimTime::from_secs_f64(t),
+            false,
+        ));
+    }
+    let duration = t.max(1e-6);
+
+    // Foreground: incast events such that fg volume is the requested
+    // fraction of total volume.
+    if p.fg_fraction > 0.0 {
+        let bg_bytes = p.bg_flows as f64 * mean;
+        let fg_bytes_total = bg_bytes * p.fg_fraction / (1.0 - p.fg_fraction);
+        let event_bytes =
+            (p.incast_senders as u64 * u64::from(p.incast_flows_per_sender) * p.incast_flow_bytes)
+                as f64;
+        let n_events = (fg_bytes_total / event_bytes).round().max(1.0) as usize;
+        for _ in 0..n_events {
+            let at = SimTime::from_secs_f64(rng.gen_unit_f64() * duration);
+            let receiver = rng.gen_range_usize(0..p.hosts);
+            let mut senders: Vec<usize> = (0..p.hosts).filter(|&h| h != receiver).collect();
+            // Choose `incast_senders` of them (Fisher–Yates prefix).
+            for i in 0..p.incast_senders.min(senders.len()) {
+                let j = rng.gen_range_usize(i..senders.len());
+                senders.swap(i, j);
+            }
+            senders.truncate(p.incast_senders);
+            for &s in &senders {
+                for _ in 0..p.incast_flows_per_sender {
+                    flows.push(FlowSpec::new(s, receiver, p.incast_flow_bytes, at, true));
+                }
+            }
+        }
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_volume_hits_target_load() {
+        let p = MixParams::reduced(2_000);
+        let cdf = FlowSizeCdf::web_search();
+        let flows = standard_mix(&cdf, p);
+        let bg: Vec<_> = flows.iter().filter(|f| !f.fg).collect();
+        let span = bg
+            .iter()
+            .map(|f| f.start)
+            .max()
+            .expect("bg flows exist")
+            .as_secs_f64();
+        let bytes: u64 = bg.iter().map(|f| f.bytes).sum();
+        // Offered inter-rack load vs the 6*4 uplinks at 40G.
+        let p_inter = 1.0 - 7.0 / 47.0;
+        let load = bytes as f64 * 8.0 * p_inter / span / (24.0 * 40e9);
+        assert!(
+            (0.3..0.5).contains(&load),
+            "offered load {load} should be near 0.4"
+        );
+    }
+
+    #[test]
+    fn foreground_volume_fraction_is_respected() {
+        let p = MixParams::reduced(2_000);
+        let flows = standard_mix(&FlowSizeCdf::web_search(), p);
+        let fg_bytes: u64 = flows.iter().filter(|f| f.fg).map(|f| f.bytes).sum();
+        let total: u64 = flows.iter().map(|f| f.bytes).sum();
+        let frac = fg_bytes as f64 / total as f64;
+        assert!(
+            (0.02..0.09).contains(&frac),
+            "fg fraction {frac} should be near 0.05"
+        );
+    }
+
+    #[test]
+    fn incast_events_are_synchronized_bursts() {
+        let mut p = MixParams::reduced(500);
+        p.fg_fraction = 0.10;
+        let flows = standard_mix(&FlowSizeCdf::web_search(), p);
+        let fg: Vec<_> = flows.iter().filter(|f| f.fg).collect();
+        assert!(!fg.is_empty());
+        // Group by start time: each group is senders x flows_per_sender
+        // flows toward one receiver.
+        let mut by_start: std::collections::HashMap<u64, Vec<&&FlowSpec>> = Default::default();
+        for f in &fg {
+            by_start.entry(f.start.as_ns()).or_default().push(f);
+        }
+        for group in by_start.values() {
+            assert_eq!(group.len(), 47 * 8);
+            let recv = group[0].dst;
+            assert!(group.iter().all(|f| f.dst == recv));
+            assert!(group.iter().all(|f| f.src != recv));
+            assert!(group.iter().all(|f| f.bytes == 8_000));
+        }
+    }
+
+    #[test]
+    fn flows_are_valid_host_indices() {
+        let p = MixParams::reduced(300);
+        for f in standard_mix(&FlowSizeCdf::cache_follower(), p) {
+            assert!(f.src < 48);
+            assert!(f.dst < 48);
+            assert_ne!(f.src, f.dst);
+            assert!(f.bytes >= 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = MixParams::reduced(300);
+        let a = standard_mix(&FlowSizeCdf::web_search(), p);
+        let b = standard_mix(&FlowSizeCdf::web_search(), p);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.bytes, y.bytes);
+            assert_eq!(x.start, y.start);
+            assert_eq!((x.src, x.dst), (y.src, y.dst));
+        }
+        let mut p2 = p;
+        p2.seed = 99;
+        let c = standard_mix(&FlowSizeCdf::web_search(), p2);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.bytes != y.bytes));
+    }
+
+    #[test]
+    fn inter_rack_probability_extremes() {
+        let mut p = MixParams::paper();
+        assert!((p.inter_rack_probability() - (1.0 - 7.0 / 95.0)).abs() < 1e-12);
+        p.tors = 1;
+        assert_eq!(p.inter_rack_probability(), 1.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Prints the packet-level mechanism traces of the paper's Figures 3 and 4
+//! by driving the TLT state machines directly — a readable tour of *why*
+//! each marking rule exists.
+//!
+//! ```text
+//! cargo run --example mechanism_trace
+//! ```
+
+use netsim::packet::TltMark;
+use tlt_core::{RateTltConfig, RateTltSender, WindowTltConfig, WindowTltReceiver, WindowTltSender};
+
+fn tag(m: TltMark) -> &'static str {
+    match m {
+        TltMark::None => "          ",
+        TltMark::ImportantData => "[IMP-DATA]",
+        TltMark::ImportantEcho => "[IMP-ECHO]",
+        TltMark::ImportantClockData => "[CLK-DATA]",
+        TltMark::ImportantClockEcho => "[CLK-ECHO]",
+    }
+}
+
+fn figure3a() {
+    println!("— Figure 3(a): one important packet in flight, per window exchange —\n");
+    let mut tx = WindowTltSender::new(WindowTltConfig::default());
+    let mut rx = WindowTltReceiver::new();
+
+    // Initial window of one packet.
+    let m = tx.mark_data(false);
+    println!("  sender   -> SEQ 1       {}", tag(m));
+    rx.on_data(m);
+    let e = rx.mark_for_ack();
+    println!("  receiver -> ACK 2       {}", tag(e));
+    tx.on_ack(e, 2, 1);
+
+    // Window grows to two: only the first packet after the echo is
+    // important; the second rides unprotected.
+    let m2 = tx.mark_data(true);
+    println!("  sender   -> SEQ 2       {}", tag(m2));
+    let m3 = tx.mark_data(false);
+    println!("  sender   -> SEQ 3       {}", tag(m3));
+    rx.on_data(m2);
+    let e = rx.mark_for_ack();
+    println!("  receiver -> ACK 3       {}", tag(e));
+    tx.on_ack(e, 3, 2);
+    rx.on_data(m3);
+    let e = rx.mark_for_ack();
+    println!("  receiver -> ACK 4       {}", tag(e));
+    tx.on_ack(e, 4, 3);
+    println!(
+        "\n  Every RTT exactly one ImportantData and one ImportantEcho cross\n  \
+         the network: losing any unimportant packet in between is detected\n  \
+         the moment the echo returns (FIFO ordering).\n"
+    );
+}
+
+fn figure3b() {
+    println!("— Figure 3(b): adaptive important ACK-clocking —\n");
+    let mut tx = WindowTltSender::new(WindowTltConfig::default());
+    tx.mark_data(false); // important packet in flight
+
+    // Echo arrives but the window allows no transmission, and no loss is
+    // known: clock with a single byte.
+    tx.on_ack(TltMark::ImportantEcho, 1441, 1441);
+    let c = tx.take_clocking(false, 1440).expect("armed");
+    println!("  no loss indicated  -> clock {} byte(s) of the first unacked segment", c.bytes);
+
+    // Next echo indicates a loss (SACK hole): clock a full MSS of it.
+    tx.on_ack(TltMark::ImportantClockEcho, 2881, 1441);
+    let c = tx.take_clocking(true, 1440).expect("armed");
+    println!("  loss indicated     -> clock {} bytes of the lost segment", c.bytes);
+    println!(
+        "\n  1 byte keeps self-clocking alive at negligible cost; a full MSS\n  \
+         repairs a known hole in one round-trip (vs 1440 round-trips at one\n  \
+         byte per RTT — the pathology the figure illustrates).\n"
+    );
+}
+
+fn figure4() {
+    println!("— Figure 4: rate-based marking and the lost-retransmission case —\n");
+    let mut tlt = RateTltSender::new(RateTltConfig { every_n: None });
+    let flow = 5_000u64;
+    for p in 0..5u64 {
+        let m = tlt.mark_data(p * 1000, (p + 1) * 1000, flow, false);
+        println!("  send pkt {}            {}", p + 1, tag(m));
+    }
+    println!("  (pkts 3 and 4 are lost; pkt 5 — important — triggers NACK 3)");
+    tlt.start_retx_round(5_000);
+    for p in 2..5u64 {
+        let m = tlt.mark_data(p * 1000, (p + 1) * 1000, flow, true);
+        println!("  retransmit pkt {}      {}", p + 1, tag(m));
+    }
+    println!(
+        "\n  The first and last packets of the retransmission round are marked\n  \
+         important: if the first retransmission dies again, its absence is\n  \
+         detectable (second NACK becomes meaningful) instead of stalling\n  \
+         until the retransmission timer fires.\n"
+    );
+}
+
+fn main() {
+    println!("TLT mechanism traces (paper Figures 3 and 4)\n");
+    figure3a();
+    figure3b();
+    figure4();
+}

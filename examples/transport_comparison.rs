@@ -1,0 +1,73 @@
+//! All five transports on the same reduced standard mix (§7.1), baseline
+//! vs TLT: foreground tail FCT, background average FCT, and timeouts.
+//!
+//! ```text
+//! cargo run --release --example transport_comparison
+//! ```
+
+use dcsim::{Engine, SimConfig};
+use eventsim::SimTime;
+use netsim::topology::TopologySpec;
+use netsim::LinkSpec;
+use netstats::summarize_flows;
+use transport::TransportKind;
+use workload::{standard_mix, FlowSizeCdf, MixParams};
+
+fn topology(p: &MixParams, roce: bool) -> TopologySpec {
+    let delay = if roce { SimTime::from_us(1) } else { SimTime::from_us(10) };
+    let link = LinkSpec::new(p.link_bw_bps, delay);
+    TopologySpec::LeafSpine {
+        cores: p.cores,
+        tors: p.tors,
+        hosts_per_tor: p.hosts / p.tors,
+        host_link: link,
+        fabric_link: link,
+    }
+}
+
+fn main() {
+    let mut p = MixParams::reduced(150);
+    p.seed = 3;
+    println!(
+        "standard mix: {} hosts, load {:.0}%, fg {:.0}% of volume, {} bg flows\n",
+        p.hosts,
+        p.load * 100.0,
+        p.fg_fraction * 100.0,
+        p.bg_flows
+    );
+    println!(
+        "{:<14} {:>6} {:>16} {:>16} {:>10}",
+        "transport", "TLT", "fg p99.9 (ms)", "bg avg (ms)", "timeouts"
+    );
+    for kind in [
+        TransportKind::Tcp,
+        TransportKind::Dctcp,
+        TransportKind::DcqcnGbn,
+        TransportKind::DcqcnSack,
+        TransportKind::DcqcnIrn,
+        TransportKind::Hpcc,
+    ] {
+        for tlt in [false, true] {
+            let mut cfg = if kind.is_roce() {
+                SimConfig::roce_family(kind)
+            } else {
+                SimConfig::tcp_family(kind)
+            }
+            .with_topology(topology(&p, kind.is_roce()));
+            if tlt {
+                cfg = cfg.with_tlt();
+            }
+            let res = Engine::new(cfg, standard_mix(&FlowSizeCdf::web_search(), p)).run();
+            let fg = summarize_flows(res.flows.iter(), |f| f.fg);
+            let bg = summarize_flows(res.flows.iter(), |f| !f.fg);
+            println!(
+                "{:<14} {:>6} {:>16.3} {:>16.3} {:>10}",
+                kind.name(),
+                if tlt { "on" } else { "off" },
+                fg.p999 * 1e3,
+                bg.avg * 1e3,
+                res.agg.timeouts
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # TLT: Towards Timeout-less Transport in Commodity Datacenter Networks
+//!
+//! A from-scratch Rust reproduction of the EuroSys '21 paper: a
+//! deterministic packet-level datacenter network simulator, the five
+//! transports the paper evaluates (TCP NewReno, DCTCP, DCQCN, IRN, HPCC),
+//! the commodity-switch buffer model (shared-buffer dynamic thresholding,
+//! **color-aware dropping**, ECN, PFC, INT), and the TLT building block
+//! itself.
+//!
+//! This crate is an umbrella that re-exports the workspace members:
+//!
+//! - [`tlt_core`] — the paper's contribution: important-packet selection
+//!   for window- and rate-based transports (§5, Algorithm 1),
+//! - [`netsim`] — packets, links, switches, topologies (§4),
+//! - [`transport`] — the transports TLT augments,
+//! - [`dcsim`] — the simulation engine,
+//! - [`workload`] — the paper's traffic mixes (§7.1, §7.3–7.4),
+//! - [`netstats`] — FCT summaries, percentiles, CDFs,
+//! - [`eventsim`] — the discrete-event core.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dcsim::{Engine, FlowSpec, SimConfig, small_single_switch};
+//! use transport::TransportKind;
+//! use eventsim::SimTime;
+//!
+//! // An 8-way 32 kB incast over DCTCP, with and without TLT.
+//! let flows: Vec<FlowSpec> =
+//!     (1..9).map(|s| FlowSpec::new(s, 0, 32_000, SimTime::ZERO, true)).collect();
+//! let base = Engine::new(
+//!     SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(9)),
+//!     flows.clone(),
+//! ).run();
+//! let tlt = Engine::new(
+//!     SimConfig::tcp_family(TransportKind::Dctcp)
+//!         .with_topology(small_single_switch(9))
+//!         .with_tlt(),
+//!     flows,
+//! ).run();
+//! assert_eq!(tlt.agg.timeouts, 0);
+//! assert!(base.flows.iter().all(|f| f.end.is_some()));
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries regenerating every table and figure of the paper.
+
+pub use dcsim;
+pub use eventsim;
+pub use netsim;
+pub use netstats;
+pub use tlt_core;
+pub use transport;
+pub use workload;

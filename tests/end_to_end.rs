@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: full engine + transports + workloads.
+
+use dcsim::{small_single_switch, Engine, FlowSpec, SimConfig};
+use eventsim::SimTime;
+use netstats::summarize_flows;
+use transport::TransportKind;
+use workload::{standard_mix, FlowSizeCdf, MixParams};
+
+const ALL: [TransportKind; 6] = [
+    TransportKind::Tcp,
+    TransportKind::Dctcp,
+    TransportKind::DcqcnGbn,
+    TransportKind::DcqcnSack,
+    TransportKind::DcqcnIrn,
+    TransportKind::Hpcc,
+];
+
+fn base_cfg(kind: TransportKind) -> SimConfig {
+    if kind.is_roce() {
+        SimConfig::roce_family(kind)
+    } else {
+        SimConfig::tcp_family(kind)
+    }
+}
+
+fn small_mix(seed: u64) -> Vec<FlowSpec> {
+    let mut p = MixParams {
+        hosts: 24,
+        tors: 3,
+        cores: 2,
+        link_bw_bps: 40_000_000_000,
+        load: 0.4,
+        fg_fraction: 0.05,
+        bg_flows: 40,
+        incast_senders: 23,
+        incast_flows_per_sender: 4,
+        incast_flow_bytes: 8_000,
+        seed,
+    };
+    p.seed = seed;
+    standard_mix(&FlowSizeCdf::cache_follower(), p)
+}
+
+fn small_topology(roce: bool) -> netsim::topology::TopologySpec {
+    let delay = if roce {
+        SimTime::from_us(1)
+    } else {
+        SimTime::from_us(10)
+    };
+    netsim::topology::TopologySpec::LeafSpine {
+        cores: 2,
+        tors: 3,
+        hosts_per_tor: 8,
+        host_link: netsim::LinkSpec::new(40_000_000_000, delay),
+        fabric_link: netsim::LinkSpec::new(40_000_000_000, delay),
+    }
+}
+
+#[test]
+fn every_transport_survives_the_standard_mix() {
+    for kind in ALL {
+        let cfg = base_cfg(kind).with_topology(small_topology(kind.is_roce()));
+        let res = Engine::new(cfg, small_mix(1)).run();
+        let done = res.flows.iter().filter(|f| f.end.is_some()).count();
+        assert_eq!(
+            done,
+            res.flows.len(),
+            "{kind:?}: {done}/{} flows completed",
+            res.flows.len()
+        );
+    }
+}
+
+#[test]
+fn every_transport_survives_the_standard_mix_with_tlt() {
+    for kind in ALL {
+        let cfg = base_cfg(kind)
+            .with_topology(small_topology(kind.is_roce()))
+            .with_tlt();
+        let res = Engine::new(cfg, small_mix(2)).run();
+        let done = res.flows.iter().filter(|f| f.end.is_some()).count();
+        assert_eq!(done, res.flows.len(), "{kind:?}+TLT incomplete");
+        assert!(res.agg.important_pkts > 0, "{kind:?}: TLT marked nothing");
+        assert!(
+            res.agg.unimportant_pkts > res.agg.important_pkts,
+            "{kind:?}: TLT marks a minority of packets"
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_identical_configs() {
+    for kind in [TransportKind::Dctcp, TransportKind::DcqcnIrn] {
+        let run = || {
+            let cfg = base_cfg(kind)
+                .with_topology(small_topology(kind.is_roce()))
+                .with_tlt()
+                .with_seed(9);
+            Engine::new(cfg, small_mix(9)).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.agg.data_pkts_sent, b.agg.data_pkts_sent, "{kind:?}");
+        assert_eq!(a.agg.drops_color, b.agg.drops_color);
+        assert_eq!(a.agg.timeouts, b.agg.timeouts);
+        for (x, y) in a.flows.iter().zip(b.flows.iter()) {
+            assert_eq!(x.end, y.end, "{kind:?} flow {}", x.id);
+        }
+    }
+}
+
+#[test]
+fn seeds_actually_change_the_workload() {
+    let cfg = || base_cfg(TransportKind::Dctcp).with_topology(small_topology(false));
+    let a = Engine::new(cfg().with_seed(1), small_mix(1)).run();
+    let b = Engine::new(cfg().with_seed(2), small_mix(2)).run();
+    assert_ne!(a.agg.data_pkts_sent, b.agg.data_pkts_sent);
+}
+
+#[test]
+fn pfc_is_lossless_under_heavy_incast() {
+    // A synchronized burst that overruns the lossy switch drops packets;
+    // the same burst with PFC drops none.
+    let flows: Vec<FlowSpec> = (1..33)
+        .flat_map(|s| {
+            [
+                FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true),
+                FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true),
+            ]
+        })
+        .collect();
+    let mut lossy = SimConfig::tcp_family(TransportKind::Dctcp)
+        .with_topology(small_single_switch(33));
+    lossy.switch.buffer_bytes = 700_000;
+    let lossy_res = Engine::new(lossy.clone(), flows.clone()).run();
+    assert!(lossy_res.agg.drops_dt > 0, "burst must overrun the buffer");
+
+    let pfc = lossy.with_pfc();
+    let pfc_res = Engine::new(pfc, flows).run();
+    assert_eq!(pfc_res.agg.drops_dt, 0);
+    assert_eq!(pfc_res.agg.drops_overflow, 0, "PFC prevents all drops");
+    assert_eq!(pfc_res.agg.timeouts, 0);
+    assert!(pfc_res.agg.pause_frames > 0);
+}
+
+#[test]
+fn app_emulation_cache_requests_complete() {
+    let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+        .with_topology(small_single_switch(9))
+        .with_tlt();
+    let res = Engine::new(cfg, workload::cache_requests(96, 8, 32_000, 4)).run();
+    assert!(res.flows.iter().all(|f| f.end.is_some()));
+    assert_eq!(res.agg.timeouts, 0, "TLT keeps the cache incast timeout-free");
+}
+
+#[test]
+fn flow_records_are_internally_consistent() {
+    let cfg = base_cfg(TransportKind::Tcp).with_topology(small_topology(false));
+    let res = Engine::new(cfg, small_mix(5)).run();
+    for f in &res.flows {
+        if let Some(end) = f.end {
+            assert!(end >= f.start, "flow {} ends before it starts", f.id);
+        }
+        assert!(f.bytes > 0);
+    }
+    let fg = summarize_flows(res.flows.iter(), |f| f.fg);
+    let bg = summarize_flows(res.flows.iter(), |f| !f.fg);
+    assert_eq!(fg.count + bg.count, res.flows.len());
+    assert!(fg.p999 >= fg.p99 && fg.p99 >= fg.p50);
+}
