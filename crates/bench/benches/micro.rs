@@ -1,20 +1,57 @@
-//! Criterion micro-benchmarks of the hot paths: event queue, switch MMU,
-//! SACK machinery, and a small end-to-end engine run.
+//! Micro-benchmarks of the hot paths: event queue, switch MMU, SACK
+//! machinery, and a small end-to-end engine run.
+//!
+//! Hand-rolled on `std::time::Instant` so the workspace builds offline
+//! (no criterion), and gated behind the non-default `microbench` feature so
+//! the tier-1 cycle never compiles bench-only code:
+//!
+//! ```text
+//! cargo bench -p bench --features microbench
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+fn main() {
+    #[cfg(feature = "microbench")]
+    micro::run();
+    #[cfg(not(feature = "microbench"))]
+    eprintln!("micro-benchmarks are feature-gated; rerun with --features microbench");
+}
 
-use dcsim::{small_single_switch, Engine, FlowSpec, SimConfig};
-use eventsim::{EventQueue, SimTime};
-use netsim::packet::{FlowId, Packet};
-use netsim::switch::{Switch, SwitchConfig};
-use netsim::topology::PortId;
-use transport::buffer::{RecvBuffer, Scoreboard};
-use transport::TransportKind;
+#[cfg(feature = "microbench")]
+mod micro {
+    use std::hint::black_box;
+    use std::time::Instant;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/schedule_pop_10k", |b| {
-        b.iter(|| {
+    use dcsim::{small_single_switch, Engine, FlowSpec, SimConfig};
+    use eventsim::{EventQueue, SimTime};
+    use netsim::packet::{FlowId, Packet};
+    use netsim::switch::{Switch, SwitchConfig};
+    use netsim::topology::PortId;
+    use transport::buffer::{RecvBuffer, Scoreboard};
+    use transport::TransportKind;
+
+    /// Times `f` over enough iterations to fill ~0.5 s after a warmup and
+    /// prints mean per-iteration latency.
+    fn bench(name: &str, mut f: impl FnMut() -> u64) {
+        // Warmup + calibration.
+        let t0 = Instant::now();
+        let mut sink = 0u64;
+        let mut calib = 0u32;
+        while t0.elapsed().as_millis() < 100 {
+            sink = sink.wrapping_add(f());
+            calib += 1;
+        }
+        let iters = (calib * 5).max(10);
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(f());
+        }
+        let per = t1.elapsed().as_secs_f64() / f64::from(iters);
+        black_box(sink);
+        println!("{name:<40} {:>12.3} µs/iter  ({iters} iters)", per * 1e6);
+    }
+
+    pub fn run() {
+        bench("event_queue/schedule_pop_10k", || {
             let mut q = EventQueue::with_capacity(10_000);
             for i in 0..10_000u64 {
                 q.schedule(SimTime::from_ns((i * 7919) % 100_000), i);
@@ -23,14 +60,10 @@ fn bench_event_queue(c: &mut Criterion) {
             while let Some((_, e)) = q.pop() {
                 sum += e;
             }
-            black_box(sum)
-        })
-    });
-}
+            sum
+        });
 
-fn bench_switch(c: &mut Criterion) {
-    c.bench_function("switch/enqueue_dequeue_4k", |b| {
-        b.iter(|| {
+        bench("switch/enqueue_dequeue_4k", || {
             let mut cfg = SwitchConfig::trident2(12);
             cfg.color_threshold = Some(400_000);
             let mut sw = Switch::new(cfg, 1);
@@ -42,14 +75,10 @@ fn bench_switch(c: &mut Criterion) {
                     sw.dequeue(PortId((i % 12) as u32), SimTime::ZERO);
                 }
             }
-            black_box(sw.total_bytes())
-        })
-    });
-}
+            sw.total_bytes()
+        });
 
-fn bench_sack(c: &mut Criterion) {
-    c.bench_function("sack/reassembly_1k_segments", |b| {
-        b.iter(|| {
+        bench("sack/reassembly_1k_segments", || {
             let mut rb = RecvBuffer::new(1_000_000);
             // Worst-ish case: alternating halves create many ranges.
             for i in (0..1000u64).step_by(2) {
@@ -58,11 +87,10 @@ fn bench_sack(c: &mut Criterion) {
             for i in (1..1000u64).step_by(2) {
                 rb.insert(i * 1000, (i + 1) * 1000);
             }
-            black_box(rb.is_complete())
-        })
-    });
-    c.bench_function("sack/scoreboard_holes", |b| {
-        b.iter(|| {
+            u64::from(rb.is_complete())
+        });
+
+        bench("sack/scoreboard_holes", || {
             let mut sb = Scoreboard::new();
             for i in 0..500u64 {
                 sb.add_block(netsim::packet::SackBlock {
@@ -76,25 +104,20 @@ fn bench_sack(c: &mut Criterion) {
                 holes += 1;
                 from = he.max(hs + 1);
             }
-            black_box(holes)
-        })
-    });
-}
+            holes
+        });
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("engine/8way_incast_dctcp", |b| {
-        b.iter(|| {
-            let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
-                .with_topology(small_single_switch(9));
+        bench("engine/8way_incast_dctcp", || {
+            let cfg =
+                SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(9));
             let flows: Vec<FlowSpec> = (1..9)
                 .map(|s| FlowSpec::new(s, 0, 32_000, SimTime::ZERO, true))
                 .collect();
             let res = Engine::new(cfg, flows).run();
-            black_box(res.agg.data_pkts_sent)
-        })
-    });
-    c.bench_function("engine/8way_incast_dctcp_tlt", |b| {
-        b.iter(|| {
+            res.agg.data_pkts_sent
+        });
+
+        bench("engine/8way_incast_dctcp_tlt", || {
             let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
                 .with_topology(small_single_switch(9))
                 .with_tlt();
@@ -102,10 +125,7 @@ fn bench_engine(c: &mut Criterion) {
                 .map(|s| FlowSpec::new(s, 0, 32_000, SimTime::ZERO, true))
                 .collect();
             let res = Engine::new(cfg, flows).run();
-            black_box(res.agg.data_pkts_sent)
-        })
-    });
+            res.agg.data_pkts_sent
+        });
+    }
 }
-
-criterion_group!(benches, bench_event_queue, bench_switch, bench_sack, bench_engine);
-criterion_main!(benches);

@@ -6,19 +6,24 @@
 //! while the 90th-percentile RTT was 0.48 ms.
 
 use bench::runner::{self, Args};
-use dcsim::Engine;
+
 use transport::{RtoMode, TransportKind};
 use workload::{standard_mix, FlowSizeCdf};
 
 fn main() {
     let args = Args::parse();
     let p = args.mix();
-    let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, runner::TcpVariant::Baseline, false);
+    let mut cfg = runner::tcp_cfg(
+        &p,
+        TransportKind::Dctcp,
+        runner::TcpVariant::Baseline,
+        false,
+    );
     cfg.rto = RtoMode::microsecond();
     let mut mp = p;
     mp.seed = 1;
     let flows = standard_mix(&FlowSizeCdf::web_search(), mp);
-    let res = Engine::new(cfg, flows).run();
+    let res = runner::traced_run("fig01/dctcp-rto200us", cfg, flows);
 
     let mut rows = Vec::new();
     println!("== Figure 1: RTT vs computed RTO CDFs (DCTCP, RTO_min=200us) ==");
@@ -38,7 +43,11 @@ fn main() {
             s.max() * 1e6,
         );
         for (v, q) in s.cdf(40) {
-            rows.push(vec![label.to_string(), format!("{:.2}", v * 1e6), format!("{q:.4}")]);
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.2}", v * 1e6),
+                format!("{q:.4}"),
+            ]);
         }
     }
     // The paper's observation, quantified.

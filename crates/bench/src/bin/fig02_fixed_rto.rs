@@ -41,7 +41,12 @@ fn main() {
         );
         runner::print_row(
             &r.name,
-            &[&r.fg_p99_ms, &r.bg_avg_ms, &r.bg_goodput_gbps, &r.timeouts_per_1k],
+            &[
+                &r.fg_p99_ms,
+                &r.bg_avg_ms,
+                &r.bg_goodput_gbps,
+                &r.timeouts_per_1k,
+            ],
         );
         rows.push(vec![
             r.name.clone(),
@@ -53,7 +58,13 @@ fn main() {
     }
     runner::maybe_csv(
         &args,
-        &["scheme", "fg_p99_ms", "bg_avg_ms", "bg_goodput_gbps", "timeouts_per_1k"],
+        &[
+            "scheme",
+            "fg_p99_ms",
+            "bg_avg_ms",
+            "bg_goodput_gbps",
+            "timeouts_per_1k",
+        ],
         &rows,
     );
 }

@@ -43,7 +43,12 @@ fn main() {
                 );
                 runner::print_row(
                     &r.name,
-                    &[&r.fg_p999_ms, &r.fg_p99_ms, &r.bg_avg_ms, &r.timeouts_per_1k],
+                    &[
+                        &r.fg_p999_ms,
+                        &r.fg_p99_ms,
+                        &r.bg_avg_ms,
+                        &r.timeouts_per_1k,
+                    ],
                 );
                 rows.push(vec![
                     r.name.clone(),
@@ -57,7 +62,13 @@ fn main() {
     }
     runner::maybe_csv(
         &args,
-        &["scheme", "fg_p999_ms", "fg_p99_ms", "bg_avg_ms", "timeouts_per_1k"],
+        &[
+            "scheme",
+            "fg_p999_ms",
+            "fg_p99_ms",
+            "bg_avg_ms",
+            "timeouts_per_1k",
+        ],
         &rows,
     );
 }

@@ -53,7 +53,11 @@ fn main() {
         (TransportKind::Tcp, false),
         (TransportKind::Tcp, true),
     ] {
-        let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+        let v = if tlt {
+            TcpVariant::Tlt
+        } else {
+            TcpVariant::Baseline
+        };
         let p = args.mix();
         let r = runner::run_scheme(
             format!("{}+PFC{}", kind.name(), if tlt { "+TLT" } else { "" }),
@@ -65,7 +69,10 @@ fn main() {
                 standard_mix(&cdf, mp)
             },
         );
-        runner::print_row(&r.name, &[&r.pause_per_1k, &r.pause_frac, &r.timeouts_per_1k]);
+        runner::print_row(
+            &r.name,
+            &[&r.pause_per_1k, &r.pause_frac, &r.timeouts_per_1k],
+        );
         rows.push(vec![
             r.name.clone(),
             format!("{:.3}", r.timeouts_per_1k.mean()),
@@ -77,7 +84,13 @@ fn main() {
 
     runner::maybe_csv(
         &args,
-        &["scheme", "timeouts_per_1k", "important_loss", "pause_per_1k", "pause_frac"],
+        &[
+            "scheme",
+            "timeouts_per_1k",
+            "important_loss",
+            "pause_per_1k",
+            "pause_frac",
+        ],
         &rows,
     );
 }

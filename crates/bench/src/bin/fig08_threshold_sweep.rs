@@ -30,8 +30,7 @@ fn main() {
                 format!("K={k}kB"),
                 args.seeds,
                 |_s| {
-                    let mut cfg =
-                        runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, pfc);
+                    let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, pfc);
                     cfg.switch.color_threshold = Some(k * 1000);
                     cfg
                 },
@@ -43,7 +42,12 @@ fn main() {
             );
             runner::print_row(
                 &r.name,
-                &[&r.fg_p999_ms, &r.bg_avg_ms, &r.important_loss, &r.pause_per_1k],
+                &[
+                    &r.fg_p999_ms,
+                    &r.bg_avg_ms,
+                    &r.important_loss,
+                    &r.pause_per_1k,
+                ],
             );
             rows.push(vec![
                 format!("{}", pfc),
@@ -57,7 +61,14 @@ fn main() {
     }
     runner::maybe_csv(
         &args,
-        &["pfc", "k_kb", "fg_p999_ms", "bg_avg_ms", "important_loss", "pause_per_1k"],
+        &[
+            "pfc",
+            "k_kb",
+            "fg_p999_ms",
+            "bg_avg_ms",
+            "important_loss",
+            "pause_per_1k",
+        ],
         &rows,
     );
 }

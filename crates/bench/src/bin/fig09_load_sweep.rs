@@ -14,7 +14,10 @@ fn main() {
     let cdf = FlowSizeCdf::web_search();
     let mut rows = Vec::new();
 
-    for (panel, kind) in [("a: HPCC+PFC", TransportKind::Hpcc), ("b: DCTCP+PFC", TransportKind::Dctcp)] {
+    for (panel, kind) in [
+        ("a: HPCC+PFC", TransportKind::Hpcc),
+        ("b: DCTCP+PFC", TransportKind::Dctcp),
+    ] {
         runner::print_header(
             &format!("Figure 9{panel} load sweep"),
             &["fg p99 (ms)", "bg avg (ms)", "PAUSE/1k"],
@@ -30,7 +33,11 @@ fn main() {
                         if kind.is_roce() {
                             runner::roce_cfg(&p, kind, tlt, true)
                         } else {
-                            let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+                            let v = if tlt {
+                                TcpVariant::Tlt
+                            } else {
+                                TcpVariant::Baseline
+                            };
                             runner::tcp_cfg(&p, kind, v, true)
                         }
                     },
@@ -54,7 +61,14 @@ fn main() {
     }
     runner::maybe_csv(
         &args,
-        &["transport", "load", "tlt", "fg_p99_ms", "bg_avg_ms", "pause_per_1k"],
+        &[
+            "transport",
+            "load",
+            "tlt",
+            "fg_p99_ms",
+            "bg_avg_ms",
+            "pause_per_1k",
+        ],
         &rows,
     );
 }

@@ -38,5 +38,9 @@ fn main() {
             format!("{:.4}", r.fg_p999_ms.mean()),
         ]);
     }
-    runner::maybe_csv(&args, &["fg_fraction", "important_frac", "fg_p999_ms"], &rows);
+    runner::maybe_csv(
+        &args,
+        &["fg_fraction", "important_frac", "fg_p999_ms"],
+        &rows,
+    );
 }

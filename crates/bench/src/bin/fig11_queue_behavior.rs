@@ -51,7 +51,11 @@ fn main() {
         &["max q (kB)", "median q (kB)"],
     );
     for tlt in [false, true] {
-        let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+        let v = if tlt {
+            TcpVariant::Tlt
+        } else {
+            TcpVariant::Baseline
+        };
         let p = args.mix();
         let r = runner::run_scheme(
             format!("DCTCP{}", if tlt { "+TLT" } else { "" }),

@@ -13,7 +13,11 @@ use transport::TransportKind;
 use workload::cache_requests;
 
 fn cfg(kind: TransportKind, tlt: bool) -> SimConfig {
-    let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+    let v = if tlt {
+        TcpVariant::Tlt
+    } else {
+        TcpVariant::Baseline
+    };
     let p = workload::MixParams::reduced(1); // only for link params
     runner::tcp_cfg(&p, kind, v, false).with_topology(small_single_switch(9))
 }
@@ -45,7 +49,11 @@ fn main() {
                 |_s| cfg(kind, tlt),
                 |s| cache_requests(n, 8, 32_000, s),
             );
-            line.push_str(&format!("{:>10.3}±{:<5.3}", r.fg_p99_ms.mean(), r.fg_p99_ms.std()));
+            line.push_str(&format!(
+                "{:>10.3}±{:<5.3}",
+                r.fg_p99_ms.mean(),
+                r.fg_p99_ms.std()
+            ));
             row.push(format!("{:.4}", r.fg_p99_ms.mean()));
         }
         println!("{line}");
@@ -53,7 +61,13 @@ fn main() {
     }
     runner::maybe_csv(
         &args,
-        &["requests", "tcp_p99_ms", "tcp_tlt_p99_ms", "dctcp_p99_ms", "dctcp_tlt_p99_ms"],
+        &[
+            "requests",
+            "tcp_p99_ms",
+            "tcp_tlt_p99_ms",
+            "dctcp_p99_ms",
+            "dctcp_tlt_p99_ms",
+        ],
         &rows,
     );
 }

@@ -11,7 +11,11 @@ use transport::TransportKind;
 use workload::cache_mixed;
 
 fn cfg(tlt: bool) -> SimConfig {
-    let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+    let v = if tlt {
+        TcpVariant::Tlt
+    } else {
+        TcpVariant::Baseline
+    };
     let p = workload::MixParams::reduced(1);
     runner::tcp_cfg(&p, TransportKind::Dctcp, v, false).with_topology(small_single_switch(10))
 }
@@ -30,7 +34,10 @@ fn main() {
             |_s| cfg(tlt),
             |s| cache_mixed(152, 8, 32_000, 8_000_000, s),
         );
-        runner::print_row(&r.name, &[&r.fg_p99_ms, &r.bg_goodput_gbps, &r.timeouts_per_1k]);
+        runner::print_row(
+            &r.name,
+            &[&r.fg_p99_ms, &r.bg_goodput_gbps, &r.timeouts_per_1k],
+        );
         rows.push(vec![
             r.name.clone(),
             format!("{:.4}", r.fg_p99_ms.mean()),
@@ -38,5 +45,9 @@ fn main() {
             format!("{:.3}", r.timeouts_per_1k.mean()),
         ]);
     }
-    runner::maybe_csv(&args, &["scheme", "fg_p99_ms", "bg_goodput_gbps", "timeouts_per_1k"], &rows);
+    runner::maybe_csv(
+        &args,
+        &["scheme", "fg_p99_ms", "bg_goodput_gbps", "timeouts_per_1k"],
+        &rows,
+    );
 }

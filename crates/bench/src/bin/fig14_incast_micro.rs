@@ -8,7 +8,7 @@
 //! and cuts p99 FCT by up to 97.2%.
 
 use bench::runner::{self, Args, TcpVariant};
-use dcsim::{small_single_switch, Engine, SimConfig};
+use dcsim::{small_single_switch, SimConfig};
 use netstats::{summarize_flows, Samples};
 use transport::TransportKind;
 use workload::incast_burst;
@@ -60,11 +60,11 @@ fn main() {
     for v in variants {
         let mut fcts = Samples::new();
         for seed in 1..=args.seeds {
-            let res = Engine::new(
+            let res = runner::traced_run(
+                &format!("fig14c/{}", v.label()),
                 cfg(TransportKind::Tcp, v).with_seed(seed),
                 incast_burst(100, 8, 32_000, seed),
-            )
-            .run();
+            );
             let s = summarize_flows(res.flows.iter(), |f| f.fg);
             let _ = s;
             for f in &res.flows {

@@ -92,9 +92,22 @@ fn main() {
     runner::maybe_csv(
         &args,
         &[
-            "workload", "load", "dctcp", "dctcp_tlp", "dctcp_200us", "dctcp_tlt", "tcp",
-            "tcp_tlp", "tcp_200us", "tcp_tlt", "dcqcn_sack_pfc", "dcqcn_sack_tlt", "dcqcn_irn",
-            "dcqcn_irn_tlt", "hpcc_pfc", "hpcc_tlt",
+            "workload",
+            "load",
+            "dctcp",
+            "dctcp_tlp",
+            "dctcp_200us",
+            "dctcp_tlt",
+            "tcp",
+            "tcp_tlp",
+            "tcp_200us",
+            "tcp_tlt",
+            "dcqcn_sack_pfc",
+            "dcqcn_sack_tlt",
+            "dcqcn_irn",
+            "dcqcn_irn_tlt",
+            "hpcc_pfc",
+            "hpcc_tlt",
         ],
         &rows,
     );

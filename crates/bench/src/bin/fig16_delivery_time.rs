@@ -6,7 +6,7 @@
 //! not just loss detection.
 
 use bench::runner::{self, Args, TcpVariant};
-use dcsim::Engine;
+
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf};
 
@@ -21,10 +21,19 @@ fn main() {
         for seed in 1..=args.seeds {
             let mut p = args.mix();
             p.seed = seed;
-            let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+            let v = if tlt {
+                TcpVariant::Tlt
+            } else {
+                TcpVariant::Baseline
+            };
             let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, v, false).with_seed(seed);
             cfg.collect_delivery = true;
-            let res = Engine::new(cfg, standard_mix(&cdf, p)).run();
+            let label = if tlt {
+                "fig16/dctcp+tlt"
+            } else {
+                "fig16/dctcp"
+            };
+            let res = runner::traced_run(label, cfg, standard_mix(&cdf, p));
             let mut d = res.agg.delivery.clone();
             for (val, _) in d.cdf(2000) {
                 all.push(val);
@@ -40,7 +49,11 @@ fn main() {
             all.len()
         );
         for (v, q) in all.cdf(40) {
-            rows.push(vec![name.to_string(), format!("{:.2}", v * 1e6), format!("{q:.4}")]);
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.2}", v * 1e6),
+                format!("{q:.4}"),
+            ]);
         }
     }
     runner::maybe_csv(&args, &["scheme", "delivery_us", "quantile"], &rows);

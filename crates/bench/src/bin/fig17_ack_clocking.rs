@@ -50,5 +50,9 @@ fn main() {
             format!("{:.3}", r.pause_per_1k.mean()),
         ]);
     }
-    runner::maybe_csv(&args, &["policy", "fg_p999_ms", "clocking_kb", "pause_per_1k"], &rows);
+    runner::maybe_csv(
+        &args,
+        &["policy", "fg_p999_ms", "clocking_kb", "pause_per_1k"],
+        &rows,
+    );
 }

@@ -29,7 +29,11 @@ fn main() {
                         if kind.is_roce() {
                             runner::roce_cfg(&p, kind, tlt, false)
                         } else {
-                            let v = if tlt { TcpVariant::Tlt } else { TcpVariant::Baseline };
+                            let v = if tlt {
+                                TcpVariant::Tlt
+                            } else {
+                                TcpVariant::Baseline
+                            };
                             runner::tcp_cfg(&p, kind, v, false)
                         }
                     },

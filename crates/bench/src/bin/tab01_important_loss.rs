@@ -21,7 +21,10 @@ fn main() {
     );
     for kind in [TransportKind::Dctcp, TransportKind::Tcp] {
         for fg in [0.05, 0.10] {
-            let mut line = format!("{:<28}", format!("{}+TLT fg={:.0}%", kind.name(), fg * 100.0));
+            let mut line = format!(
+                "{:<28}",
+                format!("{}+TLT fg={:.0}%", kind.name(), fg * 100.0)
+            );
             let mut row = vec![kind.name().to_string(), format!("{fg:.2}")];
             for k in [400u64, 500, 600] {
                 let mut p = args.mix();
@@ -30,8 +33,7 @@ fn main() {
                     "",
                     args.seeds,
                     |_s| {
-                        let mut cfg =
-                            runner::tcp_cfg(&p, kind, TcpVariant::Tlt, false);
+                        let mut cfg = runner::tcp_cfg(&p, kind, TcpVariant::Tlt, false);
                         cfg.switch.color_threshold = Some(k * 1000);
                         cfg
                     },
@@ -48,5 +50,9 @@ fn main() {
             rows.push(row);
         }
     }
-    runner::maybe_csv(&args, &["transport", "fg_fraction", "k400", "k500", "k600"], &rows);
+    runner::maybe_csv(
+        &args,
+        &["transport", "fg_fraction", "k400", "k500", "k600"],
+        &rows,
+    );
 }

@@ -1,0 +1,55 @@
+//! Flight-recorder trace inspector.
+//!
+//! Reads a JSONL trace produced by any experiment binary's `--trace` flag,
+//! summarizes every `run_start`/`run_end` bracket — per-switch drop-reason
+//! tables, PFC pause timeline, event counts — and cross-checks the counted
+//! events against the totals the producer declared in `run_end`.
+//!
+//! Exit status: 0 when every run is internally consistent, 1 when any run's
+//! counted events disagree with its declared totals (or the file contains
+//! malformed/orphaned lines), 2 on usage or I/O errors.
+
+use std::fs::File;
+use std::io::BufReader;
+
+use telemetry::inspect::inspect_reader;
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--help" | "-h" => {
+                eprintln!("usage: trace_inspect <trace.jsonl>...");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other}");
+                eprintln!("usage: trace_inspect <trace.jsonl>...");
+                std::process::exit(2);
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: trace_inspect <trace.jsonl>...");
+        std::process::exit(2);
+    }
+
+    let mut clean = true;
+    for path in &paths {
+        let file = File::open(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open {path}: {e}");
+            std::process::exit(2);
+        });
+        let report = inspect_reader(BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        if paths.len() > 1 {
+            println!("### {path}");
+        }
+        print!("{}", report.render());
+        clean &= report.is_clean();
+    }
+    std::process::exit(if clean { 0 } else { 1 });
+}

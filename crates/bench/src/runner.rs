@@ -1,11 +1,17 @@
 //! Shared experiment plumbing: CLI arguments, scheme variants, multi-seed
-//! execution, and table printing.
+//! execution, flight-recorder wiring, and table printing.
 
-use dcsim::{Engine, FlowSpec, SimConfig};
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::rc::Rc;
+
+use dcsim::{Engine, FlowSpec, SimConfig, SimResult};
 use eventsim::SimTime;
 use netsim::topology::TopologySpec;
 use netsim::LinkSpec;
 use netstats::{summarize_flows, FctSummary, Metric};
+use telemetry::{JsonlSink, TraceEvent, Tracer};
 use transport::{RtoMode, TransportKind};
 use workload::MixParams;
 
@@ -20,16 +26,26 @@ pub struct Args {
     pub seeds: u64,
     /// Optional CSV output path.
     pub out: Option<String>,
+    /// Optional flight-recorder JSONL output path.
+    pub trace: Option<String>,
+    /// Per-port telemetry sampling period in nanoseconds (with `--trace`).
+    pub trace_sample_ns: Option<u64>,
 }
 
 impl Args {
     /// Parses `std::env::args()`. Unknown flags abort with usage help.
+    ///
+    /// When `--trace` is given, every simulation the binary subsequently
+    /// runs through [`run_scheme`] / [`traced_run`] appends its events to
+    /// the named JSONL file (created fresh at startup).
     pub fn parse() -> Args {
         let mut args = Args {
             full: false,
             quick: false,
             seeds: 3,
             out: None,
+            trace: None,
+            trace_sample_ns: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -45,12 +61,25 @@ impl Args {
                 "--out" => {
                     args.out = Some(it.next().unwrap_or_else(|| usage("--out needs a path")));
                 }
+                "--trace" => {
+                    args.trace = Some(it.next().unwrap_or_else(|| usage("--trace needs a path")));
+                }
+                "--trace-sample-ns" => {
+                    args.trace_sample_ns = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--trace-sample-ns needs a number")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
         }
         if args.quick {
             args.seeds = args.seeds.min(1);
+        }
+        if let Some(path) = &args.trace {
+            init_trace(path, args.trace_sample_ns);
         }
         args
     }
@@ -71,8 +100,77 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <experiment> [--full] [--quick] [--seeds N] [--out file.csv]");
+    eprintln!(
+        "usage: <experiment> [--full] [--quick] [--seeds N] [--out file.csv] \
+         [--trace file.jsonl] [--trace-sample-ns N]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+/// Process-wide flight-recorder state installed by [`init_trace`].
+struct TraceState {
+    sink: Rc<RefCell<JsonlSink<BufWriter<File>>>>,
+    sample_every: Option<SimTime>,
+}
+
+thread_local! {
+    static TRACE: RefCell<Option<TraceState>> = const { RefCell::new(None) };
+}
+
+/// Opens (truncating) the JSONL flight-recorder file at `path` and routes
+/// every subsequent [`traced_run`] / [`run_scheme`] simulation through it.
+/// `sample_ns`, when set, enables per-port `port_sample` telemetry at that
+/// period for configs that do not already request their own.
+///
+/// [`Args::parse`] calls this when `--trace` is present; experiments with
+/// bespoke main loops may also call it directly.
+pub fn init_trace(path: &str, sample_ns: Option<u64>) {
+    let file = File::create(path)
+        .unwrap_or_else(|e| usage(&format!("cannot create trace file {path}: {e}")));
+    let sink = Rc::new(RefCell::new(JsonlSink::new(BufWriter::new(file))));
+    TRACE.with(|t| {
+        *t.borrow_mut() = Some(TraceState {
+            sink,
+            sample_every: sample_ns.map(SimTime::from_ns),
+        });
+    });
+}
+
+/// Runs one simulation, recording it to the flight recorder when one is
+/// installed ([`init_trace`]). Each run is bracketed by `run_start` (with
+/// `label` and the config's seed) and `run_end` (with the producer's own
+/// aggregate totals), making the trace self-verifying for `trace_inspect`.
+pub fn traced_run(label: &str, mut cfg: SimConfig, flows: Vec<FlowSpec>) -> SimResult {
+    let state = TRACE.with(|t| {
+        t.borrow()
+            .as_ref()
+            .map(|s| (s.sink.clone(), s.sample_every))
+    });
+    let Some((sink, sample_every)) = state else {
+        return Engine::new(cfg, flows).run();
+    };
+    if cfg.trace_sample_every.is_none() {
+        cfg.trace_sample_every = sample_every;
+    }
+    let seed = cfg.seed;
+    let tracer = Tracer::from_shared(sink);
+    tracer.emit(SimTime::ZERO, || TraceEvent::RunStart {
+        label: label.to_string(),
+        seed,
+    });
+    let mut eng = Engine::new(cfg, flows);
+    eng.set_tracer(tracer.clone());
+    let res = eng.run();
+    tracer.emit(res.agg.duration, || TraceEvent::RunEnd {
+        drops_color: res.agg.drops_color,
+        drops_dt: res.agg.drops_dt,
+        drops_overflow: res.agg.drops_overflow,
+        wire_drops: res.agg.wire_drops,
+        pause_frames: res.agg.pause_frames,
+        timeouts: res.agg.timeouts,
+    });
+    tracer.flush();
+    res
 }
 
 /// The leaf–spine topology matching a [`MixParams`] instance, with the
@@ -166,9 +264,10 @@ pub struct MixOutcome {
     pub agg: dcsim::AggregateStats,
 }
 
-/// Runs one simulation and summarizes it.
-pub fn run_once(cfg: SimConfig, flows: Vec<FlowSpec>) -> MixOutcome {
-    let res = Engine::new(cfg, flows).run();
+/// Runs one simulation (through the flight recorder when installed) and
+/// summarizes it.
+pub fn run_once(label: &str, cfg: SimConfig, flows: Vec<FlowSpec>) -> MixOutcome {
+    let res = traced_run(label, cfg, flows);
     MixOutcome {
         fg: summarize_flows(res.flows.iter(), |f| f.fg),
         bg: summarize_flows(res.flows.iter(), |f| !f.fg),
@@ -241,7 +340,7 @@ pub fn run_scheme(
         ..SchemeResult::default()
     };
     for seed in 1..=seeds {
-        let o = run_once(make_cfg(seed).with_seed(seed), make_flows(seed));
+        let o = run_once(&r.name, make_cfg(seed).with_seed(seed), make_flows(seed));
         r.add(&o);
     }
     r

@@ -184,7 +184,14 @@ mod tests {
             seq = end;
             i += 1;
         }
-        assert_eq!(marked, vec![3, 7, 11, 15, 19, 23, 27, 31, 35, 39, 43, 47, 51, 55, 59, 63, 67, 71, 75, 79, 83, 87, 91, 95], "every 4th packet marked");
+        assert_eq!(
+            marked,
+            vec![
+                3, 7, 11, 15, 19, 23, 27, 31, 35, 39, 43, 47, 51, 55, 59, 63, 67, 71, 75, 79, 83,
+                87, 91, 95
+            ],
+            "every 4th packet marked"
+        );
     }
 
     #[test]
@@ -197,14 +204,23 @@ mod tests {
             let m = tlt.mark_data(p * 1000, (p + 1) * 1000, flow, false);
             assert_eq!(m, TltMark::None, "packet {p}");
         }
-        assert_eq!(tlt.mark_data(4000, 5000, flow, false), TltMark::ImportantData);
+        assert_eq!(
+            tlt.mark_data(4000, 5000, flow, false),
+            TltMark::ImportantData
+        );
 
         // NACK(3) arrives -> round covering [2000, 4000).
         tlt.start_retx_round(4000);
         // First retransmitted packet: important (the Figure 4 fix).
-        assert_eq!(tlt.mark_data(2000, 3000, flow, true), TltMark::ImportantData);
+        assert_eq!(
+            tlt.mark_data(2000, 3000, flow, true),
+            TltMark::ImportantData
+        );
         // Last packet of the round: important too.
-        assert_eq!(tlt.mark_data(3000, 4000, flow, true), TltMark::ImportantData);
+        assert_eq!(
+            tlt.mark_data(3000, 4000, flow, true),
+            TltMark::ImportantData
+        );
         // Round is over; new transmissions unmarked (not tail).
         assert_eq!(tlt.mark_data(3000, 4000, flow, true), TltMark::None);
     }
@@ -230,7 +246,10 @@ mod tests {
         assert_eq!(tlt.mark_data(0, 1000, 10_000, true), TltMark::ImportantData);
         assert_eq!(tlt.mark_data(1000, 2000, 10_000, true), TltMark::None);
         // ...and the round end is the max of both rounds.
-        assert_eq!(tlt.mark_data(3000, 4000, 10_000, true), TltMark::ImportantData);
+        assert_eq!(
+            tlt.mark_data(3000, 4000, 10_000, true),
+            TltMark::ImportantData
+        );
     }
 
     #[test]
@@ -240,7 +259,10 @@ mod tests {
         // A non-retransmission at the round boundary leaves the round open.
         assert_eq!(tlt.mark_data(2000, 3000, 10_000, false), TltMark::None);
         assert_eq!(tlt.mark_data(0, 1000, 10_000, true), TltMark::ImportantData);
-        assert_eq!(tlt.mark_data(1000, 2000, 10_000, true), TltMark::ImportantData);
+        assert_eq!(
+            tlt.mark_data(1000, 2000, 10_000, true),
+            TltMark::ImportantData
+        );
     }
 
     #[test]
@@ -251,7 +273,10 @@ mod tests {
             tlt.mark_data(i * 1000, (i + 1) * 1000, 1_000_000, false);
         }
         tlt.start_retx_round(1000);
-        assert_eq!(tlt.mark_data(0, 1000, 1_000_000, true), TltMark::ImportantData);
+        assert_eq!(
+            tlt.mark_data(0, 1000, 1_000_000, true),
+            TltMark::ImportantData
+        );
         // Nine more unmarked sends before the next periodic mark.
         for i in 0..9 {
             assert_eq!(
@@ -260,6 +285,9 @@ mod tests {
                 "packet {i} after reset"
             );
         }
-        assert_eq!(tlt.mark_data(0, 1000, 1_000_000, false), TltMark::ImportantData);
+        assert_eq!(
+            tlt.mark_data(0, 1000, 1_000_000, false),
+            TltMark::ImportantData
+        );
     }
 }

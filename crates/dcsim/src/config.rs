@@ -4,8 +4,8 @@ use eventsim::SimTime;
 use netsim::switch::EcnConfig;
 use netsim::topology::TopologySpec;
 use netsim::LinkSpec;
-use transport::{RtoMode, TransportKind};
 use tlt_core::ClockingPolicy;
+use transport::{RtoMode, TransportKind};
 
 /// One flow to simulate: `bytes` from host index `src` to host index `dst`
 /// starting at `start`.
@@ -104,6 +104,10 @@ pub struct SimConfig {
     /// hit an important packet, performance falls back to the underlying
     /// transport's RTO.
     pub wire_loss_rate: f64,
+    /// Per-port telemetry sampling period for the flight recorder's
+    /// `PortSample` time series; `None` disables. Only consulted when a
+    /// tracer is attached (`Engine::set_tracer`).
+    pub trace_sample_every: Option<SimTime>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -139,6 +143,7 @@ impl SimConfig {
             max_time: SimTime::from_secs(5),
             queue_sample_every: None,
             wire_loss_rate: 0.0,
+            trace_sample_every: None,
             seed: 1,
         }
     }
@@ -176,6 +181,7 @@ impl SimConfig {
             max_time: SimTime::from_secs(5),
             queue_sample_every: None,
             wire_loss_rate: 0.0,
+            trace_sample_every: None,
             seed: 1,
         }
     }

@@ -3,16 +3,18 @@
 use std::collections::HashMap;
 
 use eventsim::{EventQueue, SimTime};
-use netsim::packet::{Direction, FlowId, Packet};
+use netsim::link::WireFault;
+use netsim::packet::{Color, Direction, FlowId, Packet};
 use netsim::switch::{PfcConfig, PfcSignal, Switch, SwitchConfig};
 use netsim::topology::{Hop, NodeId, NodeKind, PortId, Topology};
 use netstats::{FlowRecord, Samples};
+use telemetry::{DropWhy, TimerId, TraceEvent, Tracer};
+use tlt_core::{RateTltConfig, WindowTltConfig};
 use transport::cc::{Dctcp, Hpcc, NewReno};
 use transport::iface::{Action, Ctx, FlowReceiver, FlowSender, TimerKind, TltMode};
 use transport::roce::{RoceCfg, RoceReceiver, RoceRecovery, RoceSender};
 use transport::tcp::{TcpReceiver, WindowCfg, WindowSender};
 use transport::TransportKind;
-use tlt_core::{RateTltConfig, WindowTltConfig};
 
 use crate::config::{FlowSpec, SimConfig};
 
@@ -123,6 +125,18 @@ enum Event {
         pause: bool,
     },
     QueueSample,
+    TraceSample,
+}
+
+/// Maps a transport timer slot onto the telemetry schema's id.
+fn timer_id(kind: TimerKind) -> TimerId {
+    match kind {
+        TimerKind::Rto => TimerId::Rto,
+        TimerKind::Tlp => TimerId::Tlp,
+        TimerKind::Pace => TimerId::Pace,
+        TimerKind::DcqcnAlpha => TimerId::DcqcnAlpha,
+        TimerKind::DcqcnIncrease => TimerId::DcqcnIncrease,
+    }
 }
 
 #[derive(Clone, Copy, Default)]
@@ -159,8 +173,8 @@ pub struct Engine {
     actions: Vec<Action>,
     base_rtt: SimTime,
     bdp: u64,
-    wire_rng: eventsim::SimRng,
-    wire_drops: u64,
+    wire: WireFault,
+    tracer: Tracer,
 }
 
 impl Engine {
@@ -228,7 +242,8 @@ impl Engine {
             let dst = hosts[spec.dst];
             let hash = Topology::ecmp_hash(src, dst, i as u64 ^ cfg.seed);
             let (path_fwd, path_rev) = topo.pin_paths(src, dst, hash);
-            let (sender, receiver) = build_transport(&cfg, FlowId(i as u32), spec.bytes, base_rtt, bdp);
+            let (sender, receiver) =
+                build_transport(&cfg, FlowId(i as u32), spec.bytes, base_rtt, bdp);
             queue.schedule(spec.start, Event::FlowStart(i as u32));
             flows.push(FlowRuntime {
                 spec,
@@ -246,7 +261,7 @@ impl Engine {
             queue.schedule(every, Event::QueueSample);
         }
 
-        let wire_rng = eventsim::SimRng::seed_from(cfg.seed ^ 0x5717E_u64);
+        let wire = WireFault::new(cfg.wire_loss_rate, cfg.seed ^ 0x5717E_u64);
         Engine {
             cfg,
             topo,
@@ -259,9 +274,30 @@ impl Engine {
             actions: Vec::new(),
             base_rtt,
             bdp,
-            wire_rng,
-            wire_drops: 0,
+            wire,
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches the flight recorder: every switch, transport sender, and the
+    /// engine itself emit [`TraceEvent`]s into `tracer`'s sink. When
+    /// `cfg.trace_sample_every` is set, per-port `PortSample` telemetry is
+    /// scheduled too. Call before [`Engine::run`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for (n, sw) in self.switches.iter_mut().enumerate() {
+            if let Some(sw) = sw {
+                sw.set_tracer(tracer.clone(), n as u32);
+            }
+        }
+        for rt in &mut self.flows {
+            rt.sender.set_tracer(tracer.clone());
+        }
+        if tracer.is_on() {
+            if let Some(every) = self.cfg.trace_sample_every {
+                self.queue.schedule(every, Event::TraceSample);
+            }
+        }
+        self.tracer = tracer;
     }
 
     /// The base RTT the engine derived for this topology.
@@ -303,6 +339,9 @@ impl Engine {
             self.now = t;
             match ev {
                 Event::FlowStart(f) => {
+                    let bytes = self.flows[f as usize].spec.bytes;
+                    self.tracer
+                        .emit(t, || TraceEvent::FlowStart { flow: f, bytes });
                     let rt = &mut self.flows[f as usize];
                     rt.sender.start(&mut Ctx {
                         now: t,
@@ -323,8 +362,18 @@ impl Engine {
                     self.kick_port(node, port);
                 }
                 Event::Timer { flow, kind, gen } => {
-                    let rt = &mut self.flows[flow as usize];
-                    if rt.timer_gen.get(&kind).copied().unwrap_or(0) == gen {
+                    let live = self.flows[flow as usize]
+                        .timer_gen
+                        .get(&kind)
+                        .copied()
+                        .unwrap_or(0)
+                        == gen;
+                    if live {
+                        self.tracer.emit(t, || TraceEvent::TimerFire {
+                            flow,
+                            kind: timer_id(kind),
+                        });
+                        let rt = &mut self.flows[flow as usize];
                         rt.sender.on_timer(
                             kind,
                             &mut Ctx {
@@ -342,9 +391,17 @@ impl Engine {
                         ps.paused = true;
                         ps.ever_paused = true;
                         ps.paused_since = t;
+                        self.tracer.emit(t, || TraceEvent::LinkPause {
+                            node: node.0,
+                            port: port.0,
+                        });
                     } else if !pause && ps.paused {
                         ps.paused = false;
                         ps.paused_total += t - ps.paused_since;
+                        self.tracer.emit(t, || TraceEvent::LinkResume {
+                            node: node.0,
+                            port: port.0,
+                        });
                         self.kick_port(node, port);
                     }
                 }
@@ -362,6 +419,26 @@ impl Engine {
                     if let Some(every) = self.cfg.queue_sample_every {
                         if remaining > 0 {
                             self.queue.schedule(t + every, Event::QueueSample);
+                        }
+                    }
+                }
+                Event::TraceSample => {
+                    for (n, sw) in self.switches.iter().enumerate() {
+                        let Some(sw) = sw else { continue };
+                        for p in 0..sw.config().ports {
+                            let qlen = sw.queue_bytes(PortId(p as u32));
+                            let paused = self.ports[n][p].paused;
+                            self.tracer.emit(t, || TraceEvent::PortSample {
+                                node: n as u32,
+                                port: p as u32,
+                                qlen,
+                                paused,
+                            });
+                        }
+                    }
+                    if let Some(every) = self.cfg.trace_sample_every {
+                        if remaining > 0 {
+                            self.queue.schedule(t + every, Event::TraceSample);
                         }
                     }
                 }
@@ -392,7 +469,7 @@ impl Engine {
 
         let mut agg = AggregateStats {
             duration: end,
-            wire_drops: self.wire_drops,
+            wire_drops: self.wire.drops,
             queue_samples,
             link_pause_fraction: if pause_fracs.is_empty() {
                 0.0
@@ -469,14 +546,20 @@ impl Engine {
                 now: self.now,
                 actions: &mut self.actions,
             };
+            let mut finished = false;
             match pkt.dir {
                 Direction::Fwd => {
                     rt.receiver.on_packet(&pkt, &mut ctx);
                     if rt.complete_at.is_none() && rt.receiver.is_complete() {
                         rt.complete_at = Some(self.now);
+                        finished = true;
                     }
                 }
                 Direction::Rev => rt.sender.on_packet(&pkt, &mut ctx),
+            }
+            if finished {
+                self.tracer
+                    .emit(self.now, || TraceEvent::FlowEnd { flow: f });
             }
             self.flush_actions(f);
             return true;
@@ -538,11 +621,19 @@ impl Engine {
         let (_, rec) = self.topo.link_from(node, port);
         let tx = rec.spec.tx_time(pkt.wire_size());
         self.ports[n][port.0 as usize].busy = true;
-        self.queue.schedule(self.now + tx, Event::TxDone { node, port });
+        self.queue
+            .schedule(self.now + tx, Event::TxDone { node, port });
         // Non-congestion (corruption) loss: the port still spends the
         // serialization time, but the frame never arrives.
-        if self.cfg.wire_loss_rate > 0.0 && self.wire_rng.gen_bool(self.cfg.wire_loss_rate) {
-            self.wire_drops += 1;
+        if self.wire.corrupts() {
+            self.tracer.emit(self.now, || TraceEvent::Drop {
+                node: node.0,
+                port: port.0,
+                flow: pkt.flow.0,
+                seq: pkt.seq,
+                why: DropWhy::Wire,
+                green: pkt.color == Color::Green && !pkt.is_control(),
+            });
             return;
         }
         self.queue.schedule(
@@ -576,12 +667,21 @@ impl Engine {
                     let gen = rt.timer_gen.entry(kind).or_insert(0);
                     *gen += 1;
                     let gen = *gen;
-                    self.queue
-                        .schedule(at.max(self.now), Event::Timer { flow: f, kind, gen });
+                    let at = at.max(self.now);
+                    self.tracer.emit(self.now, || TraceEvent::TimerArm {
+                        flow: f,
+                        kind: timer_id(kind),
+                        at,
+                    });
+                    self.queue.schedule(at, Event::Timer { flow: f, kind, gen });
                 }
                 Action::CancelTimer { kind } => {
                     let rt = &mut self.flows[f as usize];
                     *rt.timer_gen.entry(kind).or_insert(0) += 1;
+                    self.tracer.emit(self.now, || TraceEvent::TimerCancel {
+                        flow: f,
+                        kind: timer_id(kind),
+                    });
                 }
             }
         }
@@ -614,15 +714,18 @@ fn build_transport(
             }
             let rx = Box::new(TcpReceiver::new(flow, bytes, tlt_on, 8));
             let tx: Box<dyn FlowSender> = match cfg.transport {
-                TransportKind::Tcp => {
-                    Box::new(WindowSender::new(w.clone(), NewReno::new(w.mss, w.init_cwnd_pkts)))
-                }
-                TransportKind::Dctcp => {
-                    Box::new(WindowSender::new(w.clone(), Dctcp::new(w.mss, w.init_cwnd_pkts)))
-                }
-                TransportKind::Hpcc => {
-                    Box::new(WindowSender::new(w.clone(), Hpcc::new(w.mss, base_rtt, bdp)))
-                }
+                TransportKind::Tcp => Box::new(WindowSender::new(
+                    w.clone(),
+                    NewReno::new(w.mss, w.init_cwnd_pkts),
+                )),
+                TransportKind::Dctcp => Box::new(WindowSender::new(
+                    w.clone(),
+                    Dctcp::new(w.mss, w.init_cwnd_pkts),
+                )),
+                TransportKind::Hpcc => Box::new(WindowSender::new(
+                    w.clone(),
+                    Hpcc::new(w.mss, base_rtt, bdp),
+                )),
                 _ => unreachable!(),
             };
             (tx, rx)
@@ -676,8 +779,7 @@ mod tests {
 
     #[test]
     fn single_dctcp_flow_completes_at_line_rate() {
-        let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
-            .with_topology(small_single_switch(2));
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(2));
         let res = one_flow(cfg, 1_000_000);
         let fct = res.flows[0].fct().expect("completed");
         // 1 MB at 40 Gbps is 200us of serialization + a few RTTs of
@@ -705,10 +807,7 @@ mod tests {
             };
             let cfg = base.with_topology(small_single_switch(3));
             let res = one_flow(cfg, 200_000);
-            assert!(
-                res.flows[0].end.is_some(),
-                "{kind:?} flow did not complete"
-            );
+            assert!(res.flows[0].end.is_some(), "{kind:?} flow did not complete");
             assert_eq!(res.agg.timeouts, 0, "{kind:?} timed out");
         }
     }
@@ -743,8 +842,8 @@ mod tests {
         // recover them. 96 flows x 8 kB = 768 kB against a ~400 kB dynamic
         // threshold.
         let mk = |tlt: bool| {
-            let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp)
-                .with_topology(small_single_switch(49));
+            let mut cfg =
+                SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(49));
             cfg.switch.buffer_bytes = 800_000;
             cfg.switch.ecn = netsim::switch::EcnConfig::Threshold { k: 100_000 };
             if tlt {
@@ -768,15 +867,13 @@ mod tests {
             "synchronized incast should overflow and time out"
         );
         assert_eq!(tlt.agg.timeouts, 0, "TLT eliminates the timeouts");
-        assert!(tlt.agg.drops_color > 0, "TLT proactively dropped red packets");
+        assert!(
+            tlt.agg.drops_color > 0,
+            "TLT proactively dropped red packets"
+        );
         assert_eq!(tlt.agg.drops_green_data, 0, "no important packet lost");
         // And the tail FCT collapses.
-        let base_max = base
-            .flows
-            .iter()
-            .filter_map(|f| f.fct())
-            .max()
-            .unwrap();
+        let base_max = base.flows.iter().filter_map(|f| f.fct()).max().unwrap();
         let tlt_max = tlt.flows.iter().filter_map(|f| f.fct()).max().unwrap();
         assert!(
             tlt_max < base_max,
@@ -840,8 +937,8 @@ mod tests {
 
     #[test]
     fn max_time_truncates_incomplete_flows() {
-        let mut cfg = SimConfig::tcp_family(TransportKind::Tcp)
-            .with_topology(small_single_switch(2));
+        let mut cfg =
+            SimConfig::tcp_family(TransportKind::Tcp).with_topology(small_single_switch(2));
         cfg.max_time = SimTime::from_us(50); // not even one RTT
         let res = one_flow(cfg, 10_000_000);
         assert!(res.flows[0].end.is_none());
@@ -849,8 +946,8 @@ mod tests {
 
     #[test]
     fn queue_sampling_records_buildup() {
-        let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp)
-            .with_topology(small_single_switch(9));
+        let mut cfg =
+            SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(9));
         cfg.queue_sample_every = Some(SimTime::from_us(10));
         let flows: Vec<FlowSpec> = (1..9)
             .map(|s| FlowSpec::new(s, 0, 64_000, SimTime::ZERO, true))
@@ -882,8 +979,7 @@ mod tests {
 
     #[test]
     fn wire_loss_zero_by_default() {
-        let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
-            .with_topology(small_single_switch(2));
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(2));
         let res = one_flow(cfg, 200_000);
         assert_eq!(res.agg.wire_drops, 0);
     }

@@ -173,24 +173,36 @@ mod tests {
         assert_eq!(q.scheduled_total(), 2);
     }
 
-    proptest::proptest! {
-        /// Popped timestamps are non-decreasing for any schedule order.
-        #[test]
-        fn prop_monotonic_pop(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+    fn random_times(rng: &mut crate::SimRng) -> Vec<u64> {
+        let n = rng.gen_range_usize(0..200);
+        (0..n).map(|_| rng.gen_range_u64(0..1_000)).collect()
+    }
+
+    /// Popped timestamps are non-decreasing for randomly generated schedule
+    /// orders (seeded, so failures reproduce).
+    #[test]
+    fn prop_monotonic_pop() {
+        let mut rng = crate::SimRng::seed_from(0xE5E7);
+        for case in 0..128 {
+            let times = random_times(&mut rng);
             let mut q = EventQueue::new();
             for &t in &times {
                 q.schedule(SimTime::from_ns(t), t);
             }
             let mut last = 0u64;
             while let Some((at, _)) = q.pop() {
-                proptest::prop_assert!(at.as_ns() >= last);
+                assert!(at.as_ns() >= last, "case {case}: time went backwards");
                 last = at.as_ns();
             }
         }
+    }
 
-        /// Every scheduled event is popped exactly once.
-        #[test]
-        fn prop_conservation(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+    /// Every scheduled event is popped exactly once.
+    #[test]
+    fn prop_conservation() {
+        let mut rng = crate::SimRng::seed_from(0xC0_5E12);
+        for case in 0..128 {
+            let times = random_times(&mut rng);
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.schedule(SimTime::from_ns(t), i);
@@ -198,7 +210,7 @@ mod tests {
             let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
             seen.sort_unstable();
             let expected: Vec<usize> = (0..times.len()).collect();
-            proptest::prop_assert_eq!(seen, expected);
+            assert_eq!(seen, expected, "case {case}");
         }
     }
 }

@@ -20,6 +20,7 @@
 //! into events. This keeps every mechanism unit-testable without a network.
 
 use eventsim::{SimRng, SimTime};
+use telemetry::{DropWhy, TraceEvent, Tracer};
 
 use crate::packet::{Color, IntHop, Packet};
 use crate::topology::PortId;
@@ -206,6 +207,8 @@ pub struct Switch {
     tx_bytes: Vec<u64>,
     stats: SwitchStats,
     rng: SimRng,
+    tracer: Tracer,
+    node: u32,
 }
 
 impl Switch {
@@ -233,7 +236,16 @@ impl Switch {
             tx_bytes: vec![0; n],
             stats: SwitchStats::default(),
             rng: SimRng::seed_from(seed ^ 0xD1E5_EA5E),
+            tracer: Tracer::off(),
+            node: 0,
         }
+    }
+
+    /// Attaches a trace sink; emitted events carry `node` as this switch's
+    /// id. With the default [`Tracer::off`] every emit is a no-op.
+    pub fn set_tracer(&mut self, tracer: Tracer, node: u32) {
+        self.tracer = tracer;
+        self.node = node;
     }
 
     /// This switch's configuration.
@@ -282,13 +294,14 @@ impl Switch {
         mut pkt: Packet,
         ingress: PortId,
         egress: PortId,
-        _now: SimTime,
+        now: SimTime,
     ) -> EnqueueOutcome {
         let e = egress.0 as usize;
         let i = ingress.0 as usize;
         let wire = u64::from(pkt.wire_size());
         let q = self.q_bytes[e];
         let is_green_data = pkt.color == Color::Green && !pkt.is_control();
+        let (flow, seq) = (pkt.flow.0, pkt.seq);
 
         let reject = |this: &mut Self, reason: DropReason| {
             match reason {
@@ -299,6 +312,18 @@ impl Switch {
             if is_green_data {
                 this.stats.drops_green_data += 1;
             }
+            this.tracer.emit(now, || TraceEvent::Drop {
+                node: this.node,
+                port: egress.0,
+                flow,
+                seq,
+                why: match reason {
+                    DropReason::ColorThreshold => DropWhy::Color,
+                    DropReason::DynamicThreshold => DropWhy::Dynamic,
+                    DropReason::BufferOverflow => DropWhy::Overflow,
+                },
+                green: is_green_data,
+            });
             EnqueueOutcome {
                 enqueued: false,
                 drop: Some(reason),
@@ -369,6 +394,22 @@ impl Switch {
             ingress,
             wire: wire as u32,
         });
+        if ce_marked {
+            self.tracer.emit(now, || TraceEvent::CeMark {
+                node: self.node,
+                port: egress.0,
+                flow,
+                seq,
+                qlen: q,
+            });
+        }
+        self.tracer.emit(now, || TraceEvent::Enqueue {
+            node: self.node,
+            port: egress.0,
+            flow,
+            seq,
+            qlen: self.q_bytes[e],
+        });
 
         // 5. PFC ingress accounting: cross XOFF -> ask engine to pause the
         //    upstream transmitter.
@@ -378,6 +419,10 @@ impl Switch {
                 self.pause_sent[i] = true;
                 self.stats.pauses_sent += 1;
                 pfc = Some(PfcSignal::Pause(ingress));
+                self.tracer.emit(now, || TraceEvent::PfcXoff {
+                    node: self.node,
+                    port: ingress.0,
+                });
             }
         }
 
@@ -415,12 +460,24 @@ impl Switch {
             });
         }
 
+        self.tracer.emit(now, || TraceEvent::Dequeue {
+            node: self.node,
+            port: egress.0,
+            flow: pkt.flow.0,
+            seq: pkt.seq,
+            qlen: self.q_bytes[e],
+        });
+
         let mut pfc = None;
         if let Some(p) = self.cfg.pfc {
             if self.pause_sent[i] && self.ingress_bytes[i] <= p.xon {
                 self.pause_sent[i] = false;
                 self.stats.resumes_sent += 1;
                 pfc = Some(PfcSignal::Resume(q.ingress));
+                self.tracer.emit(now, || TraceEvent::PfcXon {
+                    node: self.node,
+                    port: q.ingress.0,
+                });
             }
         }
         (Some(pkt), pfc)
@@ -688,11 +745,17 @@ mod tests {
         });
         cfg.color_threshold = Some(2_000);
         let mut sw = Switch::new(cfg, 0);
-        assert!(sw.enqueue(red(1000), PortId(0), PortId(1), SimTime::ZERO).enqueued);
+        assert!(
+            sw.enqueue(red(1000), PortId(0), PortId(1), SimTime::ZERO)
+                .enqueued
+        );
         let out = sw.enqueue(red(1000), PortId(0), PortId(1), SimTime::ZERO);
         assert!(!out.enqueued);
         assert_eq!(out.drop, Some(DropReason::ColorThreshold));
-        assert!(sw.enqueue(green(1000), PortId(0), PortId(1), SimTime::ZERO).enqueued);
+        assert!(
+            sw.enqueue(green(1000), PortId(0), PortId(1), SimTime::ZERO)
+                .enqueued
+        );
     }
 
     #[test]
@@ -718,7 +781,12 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.int_enabled = true;
         let mut sw = Switch::new(cfg, 0);
-        sw.enqueue(Packet::ack(FlowId(0), 5), PortId(0), PortId(1), SimTime::ZERO);
+        sw.enqueue(
+            Packet::ack(FlowId(0), 5),
+            PortId(0),
+            PortId(1),
+            SimTime::ZERO,
+        );
         let (pkt, _) = sw.dequeue(PortId(1), SimTime::ZERO);
         assert!(pkt.unwrap().int_stack.is_empty());
     }
@@ -745,34 +813,161 @@ mod tests {
         assert_eq!(sw.stats().max_queue_bytes, 3 * 1048, "maxima are sticky");
     }
 
-    proptest::proptest! {
-        /// Buffer accounting is conserved under arbitrary enqueue/dequeue
-        /// interleavings: occupancy equals the sum of queue depths, never
-        /// exceeds the pool, and drains to zero.
-        #[test]
-        fn prop_buffer_conservation(ops in proptest::collection::vec((0u32..2, 0u32..2, 200u32..1400), 1..300)) {
+    /// Every dropped packet increments exactly one of the three reason
+    /// counters, and green data arrivals are conserved: each offered green
+    /// data packet lands in `green_data_pkts` or `drops_green_data`, never
+    /// both or neither (seeded random interleavings, so failures reproduce).
+    #[test]
+    fn prop_drop_accounting_invariants() {
+        let mut rng = eventsim::SimRng::seed_from(0xD20_ACC7);
+        for case in 0..64 {
+            let mut cfg = small_cfg();
+            cfg.color_threshold = Some(10_000);
+            if case % 3 == 0 {
+                cfg.pfc = Some(PfcConfig {
+                    xoff: 30_000,
+                    xon: 20_000,
+                });
+            }
+            let mut sw = Switch::new(cfg, 11);
+            let mut offered = 0u64;
+            let mut offered_green_data = 0u64;
+            let ops = rng.gen_range_usize(50..400);
+            for _ in 0..ops {
+                let port = rng.gen_range_u64(0..2) as u32;
+                if rng.gen_bool(0.7) {
+                    let len = rng.gen_range_u64(200..1400) as u32;
+                    let mut p = Packet::data(FlowId(0), 0, len);
+                    if rng.gen_bool(0.3) {
+                        p.mark = TltMark::ImportantData;
+                    }
+                    p.colorize(true);
+                    offered += 1;
+                    if p.color == Color::Green {
+                        offered_green_data += 1;
+                    }
+                    let before = *sw.stats();
+                    let out = sw.enqueue(p, PortId(1 - port), PortId(port), SimTime::ZERO);
+                    let after = *sw.stats();
+                    let delta_drops = (after.drops_color - before.drops_color)
+                        + (after.drops_dt - before.drops_dt)
+                        + (after.drops_overflow - before.drops_overflow);
+                    if out.enqueued {
+                        assert_eq!(out.drop, None, "case {case}");
+                        assert_eq!(
+                            delta_drops, 0,
+                            "case {case}: admitted packet counted as drop"
+                        );
+                    } else {
+                        assert!(out.drop.is_some(), "case {case}");
+                        assert_eq!(
+                            delta_drops, 1,
+                            "case {case}: drop must hit exactly one reason counter"
+                        );
+                    }
+                } else {
+                    sw.dequeue(PortId(port), SimTime::ZERO);
+                }
+            }
+            let s = sw.stats();
+            assert_eq!(
+                s.enq_pkts + s.drops_color + s.drops_dt + s.drops_overflow,
+                offered,
+                "case {case}: every offered packet was admitted or dropped once"
+            );
+            assert_eq!(
+                s.green_data_pkts + s.drops_green_data,
+                offered_green_data,
+                "case {case}: green data arrivals conserved"
+            );
+        }
+    }
+
+    /// Trace events agree with the switch's own counters: the counting sink
+    /// sees the same per-reason drop, CE-mark, and PFC totals the stats
+    /// report, attributed to the configured node id.
+    #[test]
+    fn trace_events_match_switch_stats() {
+        use telemetry::CountingSink;
+
+        let mut cfg = small_cfg();
+        cfg.color_threshold = Some(5_000);
+        cfg.ecn = EcnConfig::Threshold { k: 2_000 };
+        cfg.pfc = Some(PfcConfig {
+            xoff: 8_000,
+            xon: 4_000,
+        });
+        let mut sw = Switch::new(cfg, 0);
+        let (tracer, counts) = Tracer::new(CountingSink::default());
+        sw.set_tracer(tracer, 7);
+        let mut rng = eventsim::SimRng::seed_from(0x7AC3);
+        for _ in 0..400 {
+            let port = rng.gen_range_u64(0..2) as u32;
+            if rng.gen_bool(0.8) {
+                let len = rng.gen_range_u64(200..1400) as u32;
+                let mut p = Packet::data(FlowId(0), 0, len);
+                if rng.gen_bool(0.3) {
+                    p.mark = TltMark::ImportantData;
+                }
+                p.ecn_capable = true;
+                p.colorize(true);
+                sw.enqueue(p, PortId(1 - port), PortId(port), SimTime::ZERO);
+            } else {
+                sw.dequeue(PortId(port), SimTime::ZERO);
+            }
+        }
+        let s = *sw.stats();
+        let c = counts.borrow();
+        assert!(s.drops_color > 0 && s.ce_marked > 0, "exercise the paths");
+        assert_eq!(c.totals.drops_color, s.drops_color);
+        assert_eq!(c.totals.drops_dt, s.drops_dt);
+        assert_eq!(c.totals.drops_overflow, s.drops_overflow);
+        assert_eq!(c.totals.drops_green, s.drops_green_data);
+        assert_eq!(c.totals.ce_marked, s.ce_marked);
+        assert_eq!(c.totals.pauses, s.pauses_sent);
+        assert_eq!(c.totals.resumes, s.resumes_sent);
+        assert_eq!(c.totals.enqueues, s.enq_pkts);
+        assert_eq!(
+            c.per_node[&7].drops_color, s.drops_color,
+            "node id attributed"
+        );
+    }
+
+    /// Buffer accounting is conserved under randomly generated
+    /// enqueue/dequeue interleavings: occupancy equals the sum of queue
+    /// depths, never exceeds the pool, and drains to zero (seeded, so
+    /// failures reproduce).
+    #[test]
+    fn prop_buffer_conservation() {
+        let mut rng = eventsim::SimRng::seed_from(0xB0FF);
+        for case in 0..64 {
             let mut cfg = small_cfg();
             cfg.color_threshold = Some(20_000);
             let mut sw = Switch::new(cfg, 7);
-            for (sel, port, len) in ops {
-                if sel == 0 {
+            let ops = rng.gen_range_usize(1..300);
+            for _ in 0..ops {
+                let port = rng.gen_range_u64(0..2) as u32;
+                if rng.gen_bool(0.5) {
+                    let len = rng.gen_range_u64(200..1400) as u32;
                     let mut p = Packet::data(FlowId(0), 0, len);
-                    if len % 3 == 0 { p.mark = TltMark::ImportantData; }
+                    if len.is_multiple_of(3) {
+                        p.mark = TltMark::ImportantData;
+                    }
                     p.colorize(true);
                     sw.enqueue(p, PortId(1 - port), PortId(port), SimTime::ZERO);
                 } else {
                     sw.dequeue(PortId(port), SimTime::ZERO);
                 }
                 let sum: u64 = (0..2).map(|q| sw.queue_bytes(PortId(q))).sum();
-                proptest::prop_assert_eq!(sum, sw.total_bytes());
-                proptest::prop_assert!(sw.total_bytes() <= 100_000);
+                assert_eq!(sum, sw.total_bytes(), "case {case}");
+                assert!(sw.total_bytes() <= 100_000, "case {case}");
             }
             for port in 0..2u32 {
                 while sw.has_packets(PortId(port)) {
                     sw.dequeue(PortId(port), SimTime::ZERO);
                 }
             }
-            proptest::prop_assert_eq!(sw.total_bytes(), 0);
+            assert_eq!(sw.total_bytes(), 0, "case {case}");
         }
     }
 }

@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn summary_filters_and_aggregates() {
-        let flows = vec![
+        let flows = [
             mk(0, true, Some(100), 1),
             mk(1, true, Some(200), 0),
             mk(2, false, Some(1000), 0),
@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn goodput_counts_completed_bytes_only() {
-        let flows = vec![mk(0, true, Some(1000), 0), mk(1, true, None, 0)];
+        let flows = [mk(0, true, Some(1000), 0), mk(1, true, None, 0)];
         let s = summarize_flows(flows.iter(), |_| true);
         // 10 kB in 1 ms = 80 Mbps.
         assert!((s.goodput_bps - 80e6).abs() < 1.0);

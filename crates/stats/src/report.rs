@@ -54,11 +54,7 @@ impl Metric {
             return 0.0;
         }
         let m = self.mean();
-        (self
-            .values
-            .iter()
-            .map(|x| (x - m) * (x - m))
-            .sum::<f64>()
+        (self.values.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
             / (self.values.len() - 1) as f64)
             .sqrt()
     }

@@ -1,0 +1,850 @@
+//! The trace event schema and its hand-rolled JSONL codec.
+//!
+//! Every event serializes to one JSON object per line with a shared shape:
+//! `{"t":<ns>,"ev":"<tag>", ...fields}`. All numeric fields are unsigned
+//! integers (never floats), so a deterministic simulation produces a
+//! byte-identical trace — the property the determinism tests pin.
+
+use eventsim::SimTime;
+
+/// Why a packet was dropped, as recorded in [`TraceEvent::Drop`].
+///
+/// Mirrors `netsim`'s switch drop reasons plus the engine's wire-corruption
+/// loss; kept as a separate enum so this crate stays dependency-free of the
+/// network substrate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropWhy {
+    /// Red packet proactively dropped at the color-aware threshold (§4.1).
+    Color,
+    /// Dynamic-threshold (congestion) drop.
+    Dynamic,
+    /// Shared-buffer exhaustion drop.
+    Overflow,
+    /// Non-congestion wire corruption loss (§5: outside TLT's scope).
+    Wire,
+}
+
+impl DropWhy {
+    /// Stable wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropWhy::Color => "color",
+            DropWhy::Dynamic => "dt",
+            DropWhy::Overflow => "overflow",
+            DropWhy::Wire => "wire",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn parse(s: &str) -> Option<DropWhy> {
+        Some(match s {
+            "color" => DropWhy::Color,
+            "dt" => DropWhy::Dynamic,
+            "overflow" => DropWhy::Overflow,
+            "wire" => DropWhy::Wire,
+            _ => return None,
+        })
+    }
+}
+
+/// Logical transport timer identity, as recorded in timer events.
+///
+/// Mirrors `transport::TimerKind` without depending on the transport crate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimerId {
+    /// Retransmission timeout.
+    Rto,
+    /// Tail loss probe.
+    Tlp,
+    /// Pacing tick.
+    Pace,
+    /// DCQCN α-decay timer.
+    DcqcnAlpha,
+    /// DCQCN rate-increase timer.
+    DcqcnIncrease,
+}
+
+impl TimerId {
+    /// Stable wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TimerId::Rto => "rto",
+            TimerId::Tlp => "tlp",
+            TimerId::Pace => "pace",
+            TimerId::DcqcnAlpha => "alpha",
+            TimerId::DcqcnIncrease => "incr",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn parse(s: &str) -> Option<TimerId> {
+        Some(match s {
+            "rto" => TimerId::Rto,
+            "tlp" => TimerId::Tlp,
+            "pace" => TimerId::Pace,
+            "alpha" => TimerId::DcqcnAlpha,
+            "incr" => TimerId::DcqcnIncrease,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured event in the packet/flow lifecycle.
+///
+/// `node`/`port` identify a switch and one of its egress (or, for PFC
+/// events, ingress) ports; `flow` is the flow index the engine assigned;
+/// `seq` is the first payload byte of the packet involved; `qlen` is the
+/// egress queue depth in bytes *after* the event took effect.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceEvent {
+    /// Start-of-run marker written by the harness (label + seed).
+    RunStart {
+        /// Scheme/figure label, e.g. `"fig09/dctcp+tlt"`.
+        label: String,
+        /// RNG seed of the run.
+        seed: u64,
+    },
+    /// End-of-run marker carrying the producer's aggregate totals, so an
+    /// inspector can verify the trace against the run without side channels.
+    RunEnd {
+        /// Color-threshold drops summed over all switches.
+        drops_color: u64,
+        /// Dynamic-threshold drops summed over all switches.
+        drops_dt: u64,
+        /// Buffer-overflow drops summed over all switches.
+        drops_overflow: u64,
+        /// Wire-corruption losses.
+        wire_drops: u64,
+        /// PFC PAUSE frames emitted.
+        pause_frames: u64,
+        /// Retransmission timeouts taken by all flows.
+        timeouts: u64,
+    },
+    /// A flow began transmitting.
+    FlowStart {
+        /// Flow index.
+        flow: u32,
+        /// Payload bytes the flow will carry.
+        bytes: u64,
+    },
+    /// A flow's receiver saw the final payload byte.
+    FlowEnd {
+        /// Flow index.
+        flow: u32,
+    },
+    /// A packet was admitted to a switch egress queue.
+    Enqueue {
+        /// Switch node id.
+        node: u32,
+        /// Egress port.
+        port: u32,
+        /// Flow index.
+        flow: u32,
+        /// First payload byte (or ACK number for control packets).
+        seq: u64,
+        /// Egress queue depth after admission (bytes).
+        qlen: u64,
+    },
+    /// A packet left a switch egress queue.
+    Dequeue {
+        /// Switch node id.
+        node: u32,
+        /// Egress port.
+        port: u32,
+        /// Flow index.
+        flow: u32,
+        /// First payload byte (or ACK number for control packets).
+        seq: u64,
+        /// Egress queue depth after removal (bytes).
+        qlen: u64,
+    },
+    /// A packet was dropped, with a typed reason.
+    Drop {
+        /// Switch node id (for `Wire`: the transmitting node, which may be a
+        /// host).
+        node: u32,
+        /// Egress port the packet was headed for.
+        port: u32,
+        /// Flow index.
+        flow: u32,
+        /// First payload byte.
+        seq: u64,
+        /// Typed drop reason.
+        why: DropWhy,
+        /// Whether the victim was a green (important) data packet.
+        green: bool,
+    },
+    /// A packet was CE-marked on admission.
+    CeMark {
+        /// Switch node id.
+        node: u32,
+        /// Egress port.
+        port: u32,
+        /// Flow index.
+        flow: u32,
+        /// First payload byte.
+        seq: u64,
+        /// Egress queue depth that triggered the mark (bytes).
+        qlen: u64,
+    },
+    /// A sender decided a data packet's TLT importance (§5 marking).
+    TltMark {
+        /// Flow index.
+        flow: u32,
+        /// First payload byte of the marked packet.
+        seq: u64,
+        /// Whether the packet was marked important (green).
+        important: bool,
+    },
+    /// A switch sent a PFC PAUSE upstream for one of its ingress ports.
+    PfcXoff {
+        /// Switch node id.
+        node: u32,
+        /// Ingress port whose budget crossed XOFF.
+        port: u32,
+    },
+    /// A switch sent a PFC RESUME upstream.
+    PfcXon {
+        /// Switch node id.
+        node: u32,
+        /// Ingress port whose budget fell to XON.
+        port: u32,
+    },
+    /// An upstream transmitter actually stopped (pause took effect).
+    LinkPause {
+        /// Paused node (switch or host).
+        node: u32,
+        /// Paused egress port.
+        port: u32,
+    },
+    /// An upstream transmitter resumed.
+    LinkResume {
+        /// Resumed node.
+        node: u32,
+        /// Resumed egress port.
+        port: u32,
+    },
+    /// A transport armed (or re-armed) a timer.
+    TimerArm {
+        /// Flow index.
+        flow: u32,
+        /// Timer slot.
+        kind: TimerId,
+        /// Absolute expiry time.
+        at: SimTime,
+    },
+    /// A transport disarmed a timer.
+    TimerCancel {
+        /// Flow index.
+        flow: u32,
+        /// Timer slot.
+        kind: TimerId,
+    },
+    /// An armed timer fired (and was still current).
+    TimerFire {
+        /// Flow index.
+        flow: u32,
+        /// Timer slot.
+        kind: TimerId,
+    },
+    /// A sender took a retransmission timeout (the event TLT exists to
+    /// prevent).
+    Timeout {
+        /// Flow index.
+        flow: u32,
+        /// Oldest unacknowledged byte at expiry.
+        seq: u64,
+    },
+    /// A sender entered fast retransmit (or NACK/go-back-N recovery).
+    FastRetx {
+        /// Flow index.
+        flow: u32,
+        /// First byte being retransmitted.
+        seq: u64,
+    },
+    /// Periodic per-port telemetry sample.
+    PortSample {
+        /// Switch node id.
+        node: u32,
+        /// Egress port.
+        port: u32,
+        /// Egress queue depth (bytes).
+        qlen: u64,
+        /// Whether the port's transmitter is currently PFC-paused.
+        paused: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Stable wire tag of this event's variant.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::FlowStart { .. } => "flow_start",
+            TraceEvent::FlowEnd { .. } => "flow_end",
+            TraceEvent::Enqueue { .. } => "enq",
+            TraceEvent::Dequeue { .. } => "deq",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::CeMark { .. } => "ce",
+            TraceEvent::TltMark { .. } => "tlt_mark",
+            TraceEvent::PfcXoff { .. } => "xoff",
+            TraceEvent::PfcXon { .. } => "xon",
+            TraceEvent::LinkPause { .. } => "pause",
+            TraceEvent::LinkResume { .. } => "resume",
+            TraceEvent::TimerArm { .. } => "timer_arm",
+            TraceEvent::TimerCancel { .. } => "timer_cancel",
+            TraceEvent::TimerFire { .. } => "timer_fire",
+            TraceEvent::Timeout { .. } => "timeout",
+            TraceEvent::FastRetx { .. } => "fast_retx",
+            TraceEvent::PortSample { .. } => "port_sample",
+        }
+    }
+
+    /// Encodes the event as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self, t: SimTime) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"t\":");
+        push_u64(&mut s, t.as_ns());
+        s.push_str(",\"ev\":\"");
+        s.push_str(self.tag());
+        s.push('"');
+        match self {
+            TraceEvent::RunStart { label, seed } => {
+                push_str_field(&mut s, "label", label);
+                push_field(&mut s, "seed", *seed);
+            }
+            TraceEvent::RunEnd {
+                drops_color,
+                drops_dt,
+                drops_overflow,
+                wire_drops,
+                pause_frames,
+                timeouts,
+            } => {
+                push_field(&mut s, "drops_color", *drops_color);
+                push_field(&mut s, "drops_dt", *drops_dt);
+                push_field(&mut s, "drops_overflow", *drops_overflow);
+                push_field(&mut s, "wire_drops", *wire_drops);
+                push_field(&mut s, "pause_frames", *pause_frames);
+                push_field(&mut s, "timeouts", *timeouts);
+            }
+            TraceEvent::FlowStart { flow, bytes } => {
+                push_field(&mut s, "flow", u64::from(*flow));
+                push_field(&mut s, "bytes", *bytes);
+            }
+            TraceEvent::FlowEnd { flow } => {
+                push_field(&mut s, "flow", u64::from(*flow));
+            }
+            TraceEvent::Enqueue {
+                node,
+                port,
+                flow,
+                seq,
+                qlen,
+            }
+            | TraceEvent::Dequeue {
+                node,
+                port,
+                flow,
+                seq,
+                qlen,
+            }
+            | TraceEvent::CeMark {
+                node,
+                port,
+                flow,
+                seq,
+                qlen,
+            } => {
+                push_field(&mut s, "node", u64::from(*node));
+                push_field(&mut s, "port", u64::from(*port));
+                push_field(&mut s, "flow", u64::from(*flow));
+                push_field(&mut s, "seq", *seq);
+                push_field(&mut s, "q", *qlen);
+            }
+            TraceEvent::Drop {
+                node,
+                port,
+                flow,
+                seq,
+                why,
+                green,
+            } => {
+                push_field(&mut s, "node", u64::from(*node));
+                push_field(&mut s, "port", u64::from(*port));
+                push_field(&mut s, "flow", u64::from(*flow));
+                push_field(&mut s, "seq", *seq);
+                push_str_field(&mut s, "why", why.as_str());
+                push_bool_field(&mut s, "green", *green);
+            }
+            TraceEvent::TltMark {
+                flow,
+                seq,
+                important,
+            } => {
+                push_field(&mut s, "flow", u64::from(*flow));
+                push_field(&mut s, "seq", *seq);
+                push_bool_field(&mut s, "important", *important);
+            }
+            TraceEvent::PfcXoff { node, port }
+            | TraceEvent::PfcXon { node, port }
+            | TraceEvent::LinkPause { node, port }
+            | TraceEvent::LinkResume { node, port } => {
+                push_field(&mut s, "node", u64::from(*node));
+                push_field(&mut s, "port", u64::from(*port));
+            }
+            TraceEvent::TimerArm { flow, kind, at } => {
+                push_field(&mut s, "flow", u64::from(*flow));
+                push_str_field(&mut s, "kind", kind.as_str());
+                push_field(&mut s, "at", at.as_ns());
+            }
+            TraceEvent::TimerCancel { flow, kind } | TraceEvent::TimerFire { flow, kind } => {
+                push_field(&mut s, "flow", u64::from(*flow));
+                push_str_field(&mut s, "kind", kind.as_str());
+            }
+            TraceEvent::Timeout { flow, seq } | TraceEvent::FastRetx { flow, seq } => {
+                push_field(&mut s, "flow", u64::from(*flow));
+                push_field(&mut s, "seq", *seq);
+            }
+            TraceEvent::PortSample {
+                node,
+                port,
+                qlen,
+                paused,
+            } => {
+                push_field(&mut s, "node", u64::from(*node));
+                push_field(&mut s, "port", u64::from(*port));
+                push_field(&mut s, "q", *qlen);
+                push_bool_field(&mut s, "paused", *paused);
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes one JSONL line produced by [`TraceEvent::to_jsonl`].
+    ///
+    /// Returns `None` for malformed lines (the inspector reports them
+    /// rather than panicking on a truncated trace).
+    pub fn from_jsonl(line: &str) -> Option<(SimTime, TraceEvent)> {
+        let fields = parse_object(line)?;
+        let t = SimTime::from_ns(fields.num("t")?);
+        let u32_of = |k: &str| fields.num(k).and_then(|v| u32::try_from(v).ok());
+        let ev = match fields.str("ev")? {
+            "run_start" => TraceEvent::RunStart {
+                label: fields.string("label")?,
+                seed: fields.num("seed")?,
+            },
+            "run_end" => TraceEvent::RunEnd {
+                drops_color: fields.num("drops_color")?,
+                drops_dt: fields.num("drops_dt")?,
+                drops_overflow: fields.num("drops_overflow")?,
+                wire_drops: fields.num("wire_drops")?,
+                pause_frames: fields.num("pause_frames")?,
+                timeouts: fields.num("timeouts")?,
+            },
+            "flow_start" => TraceEvent::FlowStart {
+                flow: u32_of("flow")?,
+                bytes: fields.num("bytes")?,
+            },
+            "flow_end" => TraceEvent::FlowEnd {
+                flow: u32_of("flow")?,
+            },
+            "enq" => TraceEvent::Enqueue {
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+                flow: u32_of("flow")?,
+                seq: fields.num("seq")?,
+                qlen: fields.num("q")?,
+            },
+            "deq" => TraceEvent::Dequeue {
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+                flow: u32_of("flow")?,
+                seq: fields.num("seq")?,
+                qlen: fields.num("q")?,
+            },
+            "ce" => TraceEvent::CeMark {
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+                flow: u32_of("flow")?,
+                seq: fields.num("seq")?,
+                qlen: fields.num("q")?,
+            },
+            "drop" => TraceEvent::Drop {
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+                flow: u32_of("flow")?,
+                seq: fields.num("seq")?,
+                why: DropWhy::parse(fields.str("why")?)?,
+                green: fields.boolean("green")?,
+            },
+            "tlt_mark" => TraceEvent::TltMark {
+                flow: u32_of("flow")?,
+                seq: fields.num("seq")?,
+                important: fields.boolean("important")?,
+            },
+            "xoff" => TraceEvent::PfcXoff {
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+            },
+            "xon" => TraceEvent::PfcXon {
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+            },
+            "pause" => TraceEvent::LinkPause {
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+            },
+            "resume" => TraceEvent::LinkResume {
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+            },
+            "timer_arm" => TraceEvent::TimerArm {
+                flow: u32_of("flow")?,
+                kind: TimerId::parse(fields.str("kind")?)?,
+                at: SimTime::from_ns(fields.num("at")?),
+            },
+            "timer_cancel" => TraceEvent::TimerCancel {
+                flow: u32_of("flow")?,
+                kind: TimerId::parse(fields.str("kind")?)?,
+            },
+            "timer_fire" => TraceEvent::TimerFire {
+                flow: u32_of("flow")?,
+                kind: TimerId::parse(fields.str("kind")?)?,
+            },
+            "timeout" => TraceEvent::Timeout {
+                flow: u32_of("flow")?,
+                seq: fields.num("seq")?,
+            },
+            "fast_retx" => TraceEvent::FastRetx {
+                flow: u32_of("flow")?,
+                seq: fields.num("seq")?,
+            },
+            "port_sample" => TraceEvent::PortSample {
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+                qlen: fields.num("q")?,
+                paused: fields.boolean("paused")?,
+            },
+            _ => return None,
+        };
+        Some((t, ev))
+    }
+}
+
+fn push_u64(s: &mut String, v: u64) {
+    use std::fmt::Write;
+    let _ = write!(s, "{v}");
+}
+
+fn push_field(s: &mut String, key: &str, v: u64) {
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":");
+    push_u64(s, v);
+}
+
+fn push_bool_field(s: &mut String, key: &str, v: bool) {
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(if v { "true" } else { "false" });
+}
+
+fn push_str_field(s: &mut String, key: &str, v: &str) {
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":\"");
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// A flat JSON object decoded into (key, value) pairs.
+struct Fields<'a> {
+    pairs: Vec<(&'a str, Value<'a>)>,
+}
+
+enum Value<'a> {
+    Num(u64),
+    Str(&'a str),
+    Bool(bool),
+}
+
+impl<'a> Fields<'a> {
+    fn get(&self, key: &str) -> Option<&Value<'a>> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    fn num(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn str(&self, key: &str) -> Option<&'a str> {
+        match self.get(key)? {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Fields::str`] but unescapes into an owned string.
+    fn string(&self, key: &str) -> Option<String> {
+        let raw = self.str(key)?;
+        if !raw.contains('\\') {
+            return Some(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut chars = raw.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    fn boolean(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a single-line flat JSON object of unsigned numbers, strings, and
+/// booleans — the only shapes the codec emits.
+fn parse_object(line: &str) -> Option<Fields<'_>> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let bytes = body.as_bytes();
+    let mut pairs = Vec::with_capacity(8);
+    let mut i = 0;
+    while i < bytes.len() {
+        // Key: "name"
+        if bytes[i] != b'"' {
+            return None;
+        }
+        let key_end = find_string_end(bytes, i + 1)?;
+        let key = &body[i + 1..key_end];
+        i = key_end + 1;
+        if bytes.get(i) != Some(&b':') {
+            return None;
+        }
+        i += 1;
+        // Value.
+        let value = match bytes.get(i)? {
+            b'"' => {
+                let end = find_string_end(bytes, i + 1)?;
+                let v = Value::Str(&body[i + 1..end]);
+                i = end + 1;
+                v
+            }
+            b't' if body[i..].starts_with("true") => {
+                i += 4;
+                Value::Bool(true)
+            }
+            b'f' if body[i..].starts_with("false") => {
+                i += 5;
+                Value::Bool(false)
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                Value::Num(body[start..i].parse().ok()?)
+            }
+            _ => return None,
+        };
+        pairs.push((key, value));
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            None => break,
+            _ => return None,
+        }
+    }
+    Some(Fields { pairs })
+}
+
+/// Index of the closing quote of a string starting at `from`, honoring
+/// backslash escapes.
+fn find_string_end(bytes: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ev: TraceEvent) {
+        let t = SimTime::from_ns(123_456);
+        let line = ev.to_jsonl(t);
+        let (t2, ev2) = TraceEvent::from_jsonl(&line).unwrap_or_else(|| {
+            panic!("failed to parse {line}");
+        });
+        assert_eq!(t, t2, "time roundtrip for {line}");
+        assert_eq!(ev, ev2, "event roundtrip for {line}");
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        roundtrip(TraceEvent::RunStart {
+            label: "fig09/dctcp+tlt".into(),
+            seed: 7,
+        });
+        roundtrip(TraceEvent::RunEnd {
+            drops_color: 1,
+            drops_dt: 2,
+            drops_overflow: 3,
+            wire_drops: 4,
+            pause_frames: 5,
+            timeouts: 6,
+        });
+        roundtrip(TraceEvent::FlowStart {
+            flow: 9,
+            bytes: 64_000,
+        });
+        roundtrip(TraceEvent::FlowEnd { flow: 9 });
+        roundtrip(TraceEvent::Enqueue {
+            node: 1,
+            port: 2,
+            flow: 3,
+            seq: 4,
+            qlen: 5,
+        });
+        roundtrip(TraceEvent::Dequeue {
+            node: 1,
+            port: 2,
+            flow: 3,
+            seq: 4,
+            qlen: 5,
+        });
+        for why in [
+            DropWhy::Color,
+            DropWhy::Dynamic,
+            DropWhy::Overflow,
+            DropWhy::Wire,
+        ] {
+            roundtrip(TraceEvent::Drop {
+                node: 1,
+                port: 0,
+                flow: 2,
+                seq: 1440,
+                why,
+                green: why == DropWhy::Dynamic,
+            });
+        }
+        roundtrip(TraceEvent::CeMark {
+            node: 0,
+            port: 1,
+            flow: 2,
+            seq: 3,
+            qlen: 200_001,
+        });
+        roundtrip(TraceEvent::TltMark {
+            flow: 1,
+            seq: 2880,
+            important: true,
+        });
+        roundtrip(TraceEvent::PfcXoff { node: 3, port: 1 });
+        roundtrip(TraceEvent::PfcXon { node: 3, port: 1 });
+        roundtrip(TraceEvent::LinkPause { node: 4, port: 0 });
+        roundtrip(TraceEvent::LinkResume { node: 4, port: 0 });
+        for kind in [
+            TimerId::Rto,
+            TimerId::Tlp,
+            TimerId::Pace,
+            TimerId::DcqcnAlpha,
+            TimerId::DcqcnIncrease,
+        ] {
+            roundtrip(TraceEvent::TimerArm {
+                flow: 1,
+                kind,
+                at: SimTime::from_us(55),
+            });
+            roundtrip(TraceEvent::TimerCancel { flow: 1, kind });
+            roundtrip(TraceEvent::TimerFire { flow: 1, kind });
+        }
+        roundtrip(TraceEvent::Timeout { flow: 5, seq: 0 });
+        roundtrip(TraceEvent::FastRetx { flow: 5, seq: 1440 });
+        roundtrip(TraceEvent::PortSample {
+            node: 2,
+            port: 3,
+            qlen: 10_480,
+            paused: true,
+        });
+    }
+
+    #[test]
+    fn labels_with_special_characters_roundtrip() {
+        roundtrip(TraceEvent::RunStart {
+            label: "odd \"label\" with \\ and \n newline".into(),
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        let ev = TraceEvent::Drop {
+            node: 3,
+            port: 1,
+            flow: 7,
+            seq: 2880,
+            why: DropWhy::Color,
+            green: false,
+        };
+        assert_eq!(
+            ev.to_jsonl(SimTime::from_ns(42)),
+            r#"{"t":42,"ev":"drop","node":3,"port":1,"flow":7,"seq":2880,"why":"color","green":false}"#
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            r#"{"t":1}"#,
+            r#"{"t":1,"ev":"nonsense"}"#,
+            r#"{"t":1,"ev":"drop","node":1}"#,
+            r#"{"t":-3,"ev":"flow_end","flow":0}"#,
+        ] {
+            assert!(TraceEvent::from_jsonl(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Trace sinks: where emitted events go.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Write};
+
+use eventsim::SimTime;
+
+use crate::event::{DropWhy, TraceEvent};
+
+/// A consumer of trace events.
+///
+/// Implementations must be cheap per-event; they run inline on the
+/// simulation's hot paths whenever tracing is enabled.
+pub trait TraceSink {
+    /// Records one event at simulation time `t`.
+    fn record(&mut self, t: SimTime, ev: &TraceEvent);
+
+    /// Flushes buffered output, if any.
+    fn flush(&mut self) {}
+}
+
+/// A bounded ring of the most recent events, for post-mortem inspection in
+/// tests and interactive debugging.
+pub struct RingSink {
+    cap: usize,
+    buf: VecDeque<(SimTime, TraceEvent)>,
+    /// Events evicted because the ring was full.
+    pub evicted: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> RingSink {
+        RingSink {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.clamp(1, 4096)),
+            evicted: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, TraceEvent)> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, t: SimTime, ev: &TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back((t, ev.clone()));
+    }
+}
+
+/// Aggregate counters maintained by [`CountingSink`], both globally and per
+/// switch node.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct TraceCounts {
+    /// Packets admitted to egress queues.
+    pub enqueues: u64,
+    /// Packets leaving egress queues.
+    pub dequeues: u64,
+    /// Color-threshold drops.
+    pub drops_color: u64,
+    /// Dynamic-threshold drops.
+    pub drops_dt: u64,
+    /// Buffer-overflow drops.
+    pub drops_overflow: u64,
+    /// Wire-corruption losses.
+    pub drops_wire: u64,
+    /// Drops whose victim was a green (important) data packet.
+    pub drops_green: u64,
+    /// Packets CE-marked.
+    pub ce_marked: u64,
+    /// PFC PAUSE frames sent.
+    pub pauses: u64,
+    /// PFC RESUME frames sent.
+    pub resumes: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Fast-retransmit (or NACK-recovery) entries.
+    pub fast_retx: u64,
+    /// Flows started.
+    pub flows_started: u64,
+    /// Flows finished.
+    pub flows_finished: u64,
+}
+
+impl TraceCounts {
+    /// Sum of drops from all switch-local reasons (excludes wire losses).
+    pub fn switch_drops(&self) -> u64 {
+        self.drops_color + self.drops_dt + self.drops_overflow
+    }
+
+    fn absorb(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Enqueue { .. } => self.enqueues += 1,
+            TraceEvent::Dequeue { .. } => self.dequeues += 1,
+            TraceEvent::Drop { why, green, .. } => {
+                match why {
+                    DropWhy::Color => self.drops_color += 1,
+                    DropWhy::Dynamic => self.drops_dt += 1,
+                    DropWhy::Overflow => self.drops_overflow += 1,
+                    DropWhy::Wire => self.drops_wire += 1,
+                }
+                if *green {
+                    self.drops_green += 1;
+                }
+            }
+            TraceEvent::CeMark { .. } => self.ce_marked += 1,
+            TraceEvent::PfcXoff { .. } => self.pauses += 1,
+            TraceEvent::PfcXon { .. } => self.resumes += 1,
+            TraceEvent::Timeout { .. } => self.timeouts += 1,
+            TraceEvent::FastRetx { .. } => self.fast_retx += 1,
+            TraceEvent::FlowStart { .. } => self.flows_started += 1,
+            TraceEvent::FlowEnd { .. } => self.flows_finished += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Per-node aggregate: the same counters, scoped to one switch.
+pub type NodeCounts = TraceCounts;
+
+/// An aggregating sink: counts events without storing them.
+///
+/// This is the zero-allocation-per-event option; memory is proportional to
+/// the number of distinct switch nodes seen, not the trace length.
+#[derive(Default)]
+pub struct CountingSink {
+    /// Counters over the whole trace.
+    pub totals: TraceCounts,
+    /// Counters keyed by switch node id (only events that carry a node).
+    pub per_node: BTreeMap<u32, NodeCounts>,
+    /// Total events seen, including variants not individually counted.
+    pub events: u64,
+}
+
+impl CountingSink {
+    fn node_of(ev: &TraceEvent) -> Option<u32> {
+        match ev {
+            TraceEvent::Enqueue { node, .. }
+            | TraceEvent::Dequeue { node, .. }
+            | TraceEvent::Drop { node, .. }
+            | TraceEvent::CeMark { node, .. }
+            | TraceEvent::PfcXoff { node, .. }
+            | TraceEvent::PfcXon { node, .. } => Some(*node),
+            _ => None,
+        }
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, _t: SimTime, ev: &TraceEvent) {
+        self.events += 1;
+        self.totals.absorb(ev);
+        if let Some(node) = CountingSink::node_of(ev) {
+            self.per_node.entry(node).or_default().absorb(ev);
+        }
+    }
+}
+
+/// A JSON-lines sink writing one event per line, hand-rolled (no serde).
+///
+/// Generic over any [`Write`] so tests can trace into a `Vec<u8>` and the
+/// CLI can trace into a `BufWriter<File>`.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    /// Lines written so far.
+    pub lines: u64,
+    /// First I/O error encountered, if any (subsequent writes are skipped).
+    pub error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Consumes the sink and returns the writer (flushing it first).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+
+    /// Borrows the underlying writer.
+    pub fn get_ref(&self) -> &W {
+        &self.out
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, t: SimTime, ev: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = ev.to_jsonl(t);
+        line.push('\n');
+        match self.out.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Duplicates every event into several sinks (e.g. a JSONL file plus a
+/// counting cross-check).
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// An empty fanout; add sinks with [`FanoutSink::push`].
+    pub fn new() -> FanoutSink {
+        FanoutSink::default()
+    }
+
+    /// Adds a sink (builder style).
+    pub fn push(mut self, sink: impl TraceSink + 'static) -> FanoutSink {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&mut self, t: SimTime, ev: &TraceEvent) {
+        for s in &mut self.sinks {
+            s.record(t, ev);
+        }
+    }
+
+    fn flush(&mut self) {
+        for s in &mut self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drop_ev(node: u32, why: DropWhy, green: bool) -> TraceEvent {
+        TraceEvent::Drop {
+            node,
+            port: 0,
+            flow: 1,
+            seq: 0,
+            why,
+            green,
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_evictions() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5u32 {
+            ring.record(
+                SimTime::from_ns(u64::from(i)),
+                &TraceEvent::FlowEnd { flow: i },
+            );
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted, 2);
+        let flows: Vec<u32> = ring
+            .events()
+            .map(|(_, ev)| match ev {
+                TraceEvent::FlowEnd { flow } => *flow,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(flows, vec![2, 3, 4], "oldest events evicted first");
+    }
+
+    #[test]
+    fn counting_sink_buckets_by_reason_and_node() {
+        let mut c = CountingSink::default();
+        let t = SimTime::ZERO;
+        c.record(t, &drop_ev(1, DropWhy::Color, false));
+        c.record(t, &drop_ev(1, DropWhy::Dynamic, true));
+        c.record(t, &drop_ev(2, DropWhy::Overflow, false));
+        c.record(t, &drop_ev(2, DropWhy::Wire, false));
+        c.record(t, &TraceEvent::PfcXoff { node: 2, port: 0 });
+        c.record(t, &TraceEvent::Timeout { flow: 0, seq: 0 });
+        assert_eq!(c.totals.drops_color, 1);
+        assert_eq!(c.totals.drops_dt, 1);
+        assert_eq!(c.totals.drops_overflow, 1);
+        assert_eq!(c.totals.drops_wire, 1);
+        assert_eq!(c.totals.drops_green, 1);
+        assert_eq!(c.totals.switch_drops(), 3);
+        assert_eq!(c.totals.pauses, 1);
+        assert_eq!(c.totals.timeouts, 1);
+        assert_eq!(c.events, 6);
+        assert_eq!(c.per_node[&1].drops_color, 1);
+        assert_eq!(c.per_node[&1].drops_dt, 1);
+        assert_eq!(c.per_node[&2].drops_overflow, 1);
+        assert_eq!(c.per_node[&2].pauses, 1);
+        // Timeout has no node, so it only lands in totals.
+        assert!(c.per_node.values().all(|n| n.timeouts == 0));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(SimTime::from_ns(5), &drop_ev(3, DropWhy::Color, true));
+        sink.record(
+            SimTime::from_ns(9),
+            &TraceEvent::PfcXon { node: 3, port: 2 },
+        );
+        assert_eq!(sink.lines, 2);
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed: Vec<_> = text
+            .lines()
+            .map(|l| TraceEvent::from_jsonl(l).expect("parseable"))
+            .collect();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, SimTime::from_ns(5));
+        assert_eq!(parsed[1].1, TraceEvent::PfcXon { node: 3, port: 2 });
+    }
+
+    #[test]
+    fn fanout_duplicates_into_all_children() {
+        let counts = std::rc::Rc::new(std::cell::RefCell::new(CountingSink::default()));
+        struct Shared(std::rc::Rc<std::cell::RefCell<CountingSink>>);
+        impl TraceSink for Shared {
+            fn record(&mut self, t: SimTime, ev: &TraceEvent) {
+                self.0.borrow_mut().record(t, ev);
+            }
+        }
+        let mut fan = FanoutSink::new()
+            .push(Shared(counts.clone()))
+            .push(Shared(counts.clone()));
+        fan.record(SimTime::ZERO, &drop_ev(0, DropWhy::Dynamic, false));
+        fan.flush();
+        assert_eq!(counts.borrow().totals.drops_dt, 2);
+    }
+}

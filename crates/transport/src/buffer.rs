@@ -53,11 +53,7 @@ impl RangeSet {
             }
         }
         // Merge with all successors starting within [s, e].
-        let successors: Vec<u64> = self
-            .map
-            .range(s..=e)
-            .map(|(&k, _)| k)
-            .collect();
+        let successors: Vec<u64> = self.map.range(s..=e).map(|(&k, _)| k).collect();
         for k in successors {
             let pe = self.map.remove(&k).expect("key just observed");
             e = e.max(pe);
@@ -393,8 +389,20 @@ mod tests {
         rb.insert(8000, 9000);
         let blocks = rb.sack_blocks(2);
         assert_eq!(blocks.len(), 2);
-        assert_eq!(blocks[0], SackBlock { start: 2000, end: 3000 });
-        assert_eq!(blocks[1], SackBlock { start: 5000, end: 6000 });
+        assert_eq!(
+            blocks[0],
+            SackBlock {
+                start: 2000,
+                end: 3000
+            }
+        );
+        assert_eq!(
+            blocks[1],
+            SackBlock {
+                start: 5000,
+                end: 6000
+            }
+        );
         let all = rb.sack_blocks(8);
         assert_eq!(all.len(), 3);
     }
@@ -403,8 +411,14 @@ mod tests {
     fn scoreboard_holes_and_acks() {
         let mut sb = Scoreboard::new();
         assert!(!sb.has_holes(0));
-        sb.add_block(SackBlock { start: 3000, end: 4000 });
-        sb.add_block(SackBlock { start: 5000, end: 6000 });
+        sb.add_block(SackBlock {
+            start: 3000,
+            end: 4000,
+        });
+        sb.add_block(SackBlock {
+            start: 5000,
+            end: 6000,
+        });
         // una = 1000: hole [1000, 3000), then [4000, 5000).
         assert_eq!(sb.first_hole(1000), Some((1000, 3000)));
         assert_eq!(sb.first_hole(3000), Some((4000, 5000)));
@@ -420,54 +434,71 @@ mod tests {
     #[test]
     fn scoreboard_no_hole_above_highest_sack() {
         let mut sb = Scoreboard::new();
-        sb.add_block(SackBlock { start: 1000, end: 2000 });
+        sb.add_block(SackBlock {
+            start: 1000,
+            end: 2000,
+        });
         // Bytes above 2000 are not holes (nothing SACKed above them).
         assert_eq!(sb.first_hole(2000), None);
         assert_eq!(sb.first_hole(0), Some((0, 1000)));
     }
 
-    proptest::proptest! {
-        /// RangeSet matches a naive bitset model under arbitrary inserts
-        /// and cuts.
-        #[test]
-        fn prop_rangeset_model(ops in proptest::collection::vec((0u64..200, 0u64..200, proptest::bool::ANY), 1..60)) {
+    /// RangeSet matches a naive bitset model under randomly generated
+    /// inserts and cuts (seeded, so failures reproduce).
+    #[test]
+    fn prop_rangeset_model() {
+        let mut rng = eventsim::SimRng::seed_from(0x5AC_0FF);
+        for case in 0..96 {
             let mut s = RangeSet::new();
             let mut model = vec![false; 220];
-            for (a, b, is_cut) in ops {
-                if is_cut {
+            let ops = rng.gen_range_usize(1..60);
+            for _ in 0..ops {
+                let a = rng.gen_range_u64(0..200);
+                let b = rng.gen_range_u64(0..200);
+                if rng.gen_bool(0.5) {
                     let cut = a.min(b);
                     s.remove_below(cut);
                     for (i, m) in model.iter_mut().enumerate() {
-                        if (i as u64) < cut { *m = false; }
+                        if (i as u64) < cut {
+                            *m = false;
+                        }
                     }
                 } else {
                     let (lo, hi) = (a.min(b), a.max(b));
                     s.insert(lo, hi);
                     for (i, m) in model.iter_mut().enumerate() {
-                        if (i as u64) >= lo && (i as u64) < hi { *m = true; }
+                        if (i as u64) >= lo && (i as u64) < hi {
+                            *m = true;
+                        }
                     }
                 }
                 for (i, &m) in model.iter().enumerate() {
-                    proptest::prop_assert_eq!(s.contains(i as u64), m, "mismatch at byte {}", i);
+                    assert_eq!(s.contains(i as u64), m, "case {case}: mismatch at byte {i}");
                 }
             }
         }
+    }
 
-        /// Receiver reassembly completes for any arrival permutation of a
-        /// segmented flow, and cumulative never regresses.
-        #[test]
-        fn prop_reassembly_completes(perm in proptest::sample::subsequence((0u64..20).collect::<Vec<_>>(), 20)) {
+    /// Receiver reassembly completes for any arrival permutation of a
+    /// segmented flow, and cumulative never regresses.
+    #[test]
+    fn prop_reassembly_completes() {
+        let mut rng = eventsim::SimRng::seed_from(0xBEEF);
+        for case in 0..128 {
+            // Random permutation of the 20 segments (Fisher–Yates).
+            let mut order: Vec<u64> = (0..20).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range_usize(0..i + 1));
+            }
             let mut rb = RecvBuffer::new(20 * 100);
             let mut last_cum = 0;
-            // Insert the permuted subset, then the remainder.
-            let rest: Vec<u64> = (0..20).filter(|i| !perm.contains(i)).collect();
-            for &i in perm.iter().chain(rest.iter()) {
+            for &i in &order {
                 rb.insert(i * 100, (i + 1) * 100);
                 let c = rb.cumulative();
-                proptest::prop_assert!(c >= last_cum);
+                assert!(c >= last_cum, "case {case}: cumulative regressed");
                 last_cum = c;
             }
-            proptest::prop_assert!(rb.is_complete());
+            assert!(rb.is_complete(), "case {case}");
         }
     }
 }

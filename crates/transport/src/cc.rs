@@ -80,8 +80,8 @@ impl NewReno {
             self.cwnd += (newly_acked.min(self.mss)) as f64;
         } else if self.cwnd > 0.0 {
             // Congestion avoidance: ~one MSS per RTT.
-            self.cwnd += (self.mss * newly_acked) as f64 * self.mss as f64
-                / (self.cwnd * self.mss as f64);
+            self.cwnd +=
+                (self.mss * newly_acked) as f64 * self.mss as f64 / (self.cwnd * self.mss as f64);
         }
     }
 
@@ -163,7 +163,7 @@ impl CongestionControl for Dctcp {
                 let f = self.bytes_marked as f64 / self.bytes_acked as f64;
                 self.alpha = (1.0 - self.g) * self.alpha + self.g * f;
                 if self.bytes_marked > 0 {
-                    let reduced = self.reno.cwnd as f64 * (1.0 - self.alpha / 2.0);
+                    let reduced = self.reno.cwnd * (1.0 - self.alpha / 2.0);
                     self.reno.cwnd = reduced.max((2 * self.reno.mss) as f64);
                     self.reno.ssthresh = self.reno.cwnd;
                 }
@@ -386,7 +386,11 @@ mod tests {
             cc.on_ack(&ack_ctx(&pkt, 10_000, false, una + 10_000, una + 20_000));
             una += 10_000;
         }
-        assert!(cc.alpha() < 0.05, "alpha decays without marks: {}", cc.alpha());
+        assert!(
+            cc.alpha() < 0.05,
+            "alpha decays without marks: {}",
+            cc.alpha()
+        );
         let w = cc.cwnd();
         // One fully-marked window: alpha jumps by g, window shrinks by
         // alpha/2 — i.e. a gentle reduction, not a halving.
@@ -438,12 +442,22 @@ mod tests {
         let mut tx = 0u64;
         let mut now = SimTime::ZERO;
         for i in 0..20 {
-            now = now + SimTime::from_us(80);
+            now += SimTime::from_us(80);
             tx += 400_000; // line rate over one RTT
             let a = int_ack(FlowId(0), 300_000, tx, now);
-            cc.on_ack(&ack_ctx(&a, 10_000, false, (i + 1) * 10_000, (i + 2) * 10_000));
+            cc.on_ack(&ack_ctx(
+                &a,
+                10_000,
+                false,
+                (i + 1) * 10_000,
+                (i + 2) * 10_000,
+            ));
         }
-        assert!(cc.utilization() > 1.0, "U reflects deep queue: {}", cc.utilization());
+        assert!(
+            cc.utilization() > 1.0,
+            "U reflects deep queue: {}",
+            cc.utilization()
+        );
         assert!(
             cc.cwnd() < bdp / 2,
             "window shrinks well below BDP, got {}",
@@ -459,18 +473,30 @@ mod tests {
         let mut tx = 0u64;
         let mut now = SimTime::ZERO;
         for i in 0..10 {
-            now = now + SimTime::from_us(80);
+            now += SimTime::from_us(80);
             tx += 400_000;
             let a = int_ack(FlowId(0), 300_000, tx, now);
-            cc.on_ack(&ack_ctx(&a, 10_000, false, (i + 1) * 10_000, (i + 2) * 10_000));
+            cc.on_ack(&ack_ctx(
+                &a,
+                10_000,
+                false,
+                (i + 1) * 10_000,
+                (i + 2) * 10_000,
+            ));
         }
         let low = cc.cwnd();
         // Now an idle link: empty queue, tiny tx rate.
         for i in 10..60 {
-            now = now + SimTime::from_us(80);
+            now += SimTime::from_us(80);
             tx += 4_000;
             let a = int_ack(FlowId(0), 0, tx, now);
-            cc.on_ack(&ack_ctx(&a, 10_000, false, (i + 1) * 10_000, (i + 2) * 10_000));
+            cc.on_ack(&ack_ctx(
+                &a,
+                10_000,
+                false,
+                (i + 1) * 10_000,
+                (i + 2) * 10_000,
+            ));
         }
         assert!(cc.cwnd() > low, "window recovers: {} -> {}", low, cc.cwnd());
     }
@@ -490,9 +516,15 @@ mod tests {
         // Absurdly idle reports never push W past BDP...
         let mut now = SimTime::ZERO;
         for i in 0..100 {
-            now = now + SimTime::from_us(80);
+            now += SimTime::from_us(80);
             let a = int_ack(FlowId(0), 0, (i + 1) * 100, now);
-            cc.on_ack(&ack_ctx(&a, 10_000, false, (i + 1) * 10_000, (i + 2) * 10_000));
+            cc.on_ack(&ack_ctx(
+                &a,
+                10_000,
+                false,
+                (i + 1) * 10_000,
+                (i + 2) * 10_000,
+            ));
             assert!(cc.cwnd() <= 400_000);
             assert!(cc.cwnd() >= 1000);
         }

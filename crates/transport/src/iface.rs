@@ -125,6 +125,12 @@ pub trait FlowSender {
     fn is_done(&self) -> bool;
     /// Counters for the harness.
     fn stats(&self) -> &SenderStats;
+    /// Attaches a flight-recorder handle; instrumented senders emit
+    /// timeout / fast-retransmit / TLT-marking events through it. The
+    /// default ignores it so minimal test senders need no changes.
+    fn set_tracer(&mut self, tracer: telemetry::Tracer) {
+        let _ = tracer;
+    }
 }
 
 /// A receiver-side transport state machine.

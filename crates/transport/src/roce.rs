@@ -244,6 +244,7 @@ pub struct RoceSender {
     tlt: Option<RateTltSender>,
     timers_parked: bool,
     stats: SenderStats,
+    tracer: telemetry::Tracer,
 }
 
 impl RoceSender {
@@ -273,6 +274,7 @@ impl RoceSender {
             tlt,
             timers_parked: true,
             stats: SenderStats::default(),
+            tracer: telemetry::Tracer::off(),
             cfg,
         }
     }
@@ -287,7 +289,8 @@ impl RoceSender {
     }
 
     fn flight(&self) -> u64 {
-        (self.snd_nxt - self.snd_una).saturating_sub(self.scoreboard.sacked_bytes_above(self.snd_una))
+        (self.snd_nxt - self.snd_una)
+            .saturating_sub(self.scoreboard.sacked_bytes_above(self.snd_una))
     }
 
     fn flight_pkts(&self) -> u32 {
@@ -343,10 +346,24 @@ impl RoceSender {
         } else {
             self.stats.unimportant_pkts += 1;
         }
+        if self.tlt.is_some() {
+            let important = pkt.mark.is_important();
+            self.tracer
+                .emit(ctx.now, || telemetry::TraceEvent::TltMark {
+                    flow: self.cfg.flow.0,
+                    seq,
+                    important,
+                });
+        }
         self.stats.data_pkts_sent += 1;
         self.stats.bytes_sent += u64::from(len);
         if is_retx {
             self.stats.fast_retx += 1;
+            self.tracer
+                .emit(ctx.now, || telemetry::TraceEvent::FastRetx {
+                    flow: self.cfg.flow.0,
+                    seq,
+                });
         }
         self.dcqcn.on_bytes_sent(u64::from(pkt.wire_size()));
         ctx.send(pkt);
@@ -498,10 +515,7 @@ impl FlowSender for RoceSender {
                 self.dcqcn.on_cnp();
                 // Restart the increase machinery.
                 ctx.set_timer(TimerKind::DcqcnAlpha, ctx.now + self.cfg.dcqcn.alpha_timer);
-                ctx.set_timer(
-                    TimerKind::DcqcnIncrease,
-                    ctx.now + self.cfg.dcqcn.inc_timer,
-                );
+                ctx.set_timer(TimerKind::DcqcnIncrease, ctx.now + self.cfg.dcqcn.inc_timer);
                 self.timers_parked = false;
             }
             PacketKind::Data => {}
@@ -517,6 +531,11 @@ impl FlowSender for RoceSender {
             TimerKind::Rto => {
                 self.stats.timeouts += 1;
                 self.stats.rto_retx += 1;
+                self.tracer
+                    .emit(ctx.now, || telemetry::TraceEvent::Timeout {
+                        flow: self.cfg.flow.0,
+                        seq: self.snd_una,
+                    });
                 self.backoff = (self.backoff + 1).min(10);
                 if self.selective() {
                     // Re-send everything unsacked.
@@ -545,10 +564,7 @@ impl FlowSender for RoceSender {
             TimerKind::DcqcnIncrease => {
                 self.dcqcn.on_inc_timer();
                 if !self.dcqcn.recovered() {
-                    ctx.set_timer(
-                        TimerKind::DcqcnIncrease,
-                        ctx.now + self.cfg.dcqcn.inc_timer,
-                    );
+                    ctx.set_timer(TimerKind::DcqcnIncrease, ctx.now + self.cfg.dcqcn.inc_timer);
                 }
                 // A rate increase may unblock the pacer sooner than the
                 // previously scheduled tick; recompute conservatively.
@@ -564,6 +580,10 @@ impl FlowSender for RoceSender {
 
     fn stats(&self) -> &SenderStats {
         &self.stats
+    }
+
+    fn set_tracer(&mut self, tracer: telemetry::Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -687,7 +707,11 @@ mod tests {
     }
 
     fn sack_cfg(bytes: u64) -> RoceCfg {
-        RoceCfg::new(FlowId(2), bytes, RoceRecovery::Selective { window_cap: None })
+        RoceCfg::new(
+            FlowId(2),
+            bytes,
+            RoceRecovery::Selective { window_cap: None },
+        )
     }
 
     fn irn_cfg(bytes: u64) -> RoceCfg {
@@ -753,7 +777,10 @@ mod tests {
         // expected seq), so only the RTO recovers.
         let (res, stats) = run_roce(gbn_cfg(50_000), DropPlan::data_n_times(10_000, 2));
         assert!(res.receiver_complete);
-        assert!(stats.timeouts >= 1, "duplicate NACK cannot be distinguished");
+        assert!(
+            stats.timeouts >= 1,
+            "duplicate NACK cannot be distinguished"
+        );
     }
 
     #[test]
@@ -926,9 +953,7 @@ mod tests {
         let count_cnps = |actions: &Vec<crate::iface::Action>| {
             actions
                 .iter()
-                .filter(|a| {
-                    matches!(a, crate::iface::Action::Send(p) if p.kind == PacketKind::Cnp)
-                })
+                .filter(|a| matches!(a, crate::iface::Action::Send(p) if p.kind == PacketKind::Cnp))
                 .count()
         };
         for i in 0..10u64 {

@@ -126,6 +126,7 @@ pub struct WindowSender<C: CongestionControl> {
     /// transmitted before this order and still unacked is lost (§5.1,
     /// "guaranteed fast loss detection" — FIFO paths).
     echo_barrier: Option<u64>,
+    tracer: telemetry::Tracer,
 }
 
 impl<C: CongestionControl> WindowSender<C> {
@@ -166,6 +167,7 @@ impl<C: CongestionControl> WindowSender<C> {
             tx_order: std::collections::HashMap::new(),
             last_important_order: 0,
             echo_barrier: None,
+            tracer: telemetry::Tracer::off(),
             cfg,
         }
     }
@@ -186,7 +188,8 @@ impl<C: CongestionControl> WindowSender<C> {
     }
 
     fn flight(&self) -> u64 {
-        (self.snd_nxt - self.snd_una).saturating_sub(self.scoreboard.sacked_bytes_above(self.snd_una))
+        (self.snd_nxt - self.snd_una)
+            .saturating_sub(self.scoreboard.sacked_bytes_above(self.snd_una))
     }
 
     fn in_recovery(&self) -> bool {
@@ -221,6 +224,15 @@ impl<C: CongestionControl> WindowSender<C> {
         } else {
             self.stats.unimportant_pkts += 1;
         }
+        if self.tlt_enabled() {
+            let important = pkt.mark.is_important();
+            self.tracer
+                .emit(ctx.now, || telemetry::TraceEvent::TltMark {
+                    flow: self.cfg.flow.0,
+                    seq,
+                    important,
+                });
+        }
         ctx.send(pkt);
     }
 
@@ -236,7 +248,8 @@ impl<C: CongestionControl> WindowSender<C> {
     fn note_transmission(&mut self, seq: u64, len: u32, important: bool) {
         self.tx_counter += 1;
         if self.tlt.is_some() && seq + u64::from(len) >= self.seg_grid_end(seq) {
-            self.tx_order.insert(seq / u64::from(self.cfg.mss), self.tx_counter);
+            self.tx_order
+                .insert(seq / u64::from(self.cfg.mss), self.tx_counter);
         }
         if important {
             self.last_important_order = self.tx_counter;
@@ -265,7 +278,10 @@ impl<C: CongestionControl> WindowSender<C> {
             }
         } else if self.snd_una < self.snd_nxt && sent_before(self.snd_una, self) {
             // No SACK information: the first unacked segment is the suspect.
-            return Some((self.snd_una, self.seg_grid_end(self.snd_una).min(self.snd_nxt)));
+            return Some((
+                self.snd_una,
+                self.seg_grid_end(self.snd_una).min(self.snd_nxt),
+            ));
         }
         None
     }
@@ -301,6 +317,11 @@ impl<C: CongestionControl> WindowSender<C> {
         let len = u64::from(self.cfg.mss).min(he - hs) as u32;
         self.high_rxt = hs + u64::from(len);
         self.stats.fast_retx += 1;
+        self.tracer
+            .emit(ctx.now, || telemetry::TraceEvent::FastRetx {
+                flow: self.cfg.flow.0,
+                seq: hs,
+            });
         self.emit_data(hs, len, true, false, ctx);
         true
     }
@@ -312,7 +333,7 @@ impl<C: CongestionControl> WindowSender<C> {
         self.rtt_sample_count += 1;
         if self.stats.rtt_samples.len() < RTT_RESERVOIR {
             self.stats.rtt_samples.push(rtt);
-        } else if self.rtt_sample_count % 16 == 0 {
+        } else if self.rtt_sample_count.is_multiple_of(16) {
             let idx = (self.rtt_sample_count / 16) as usize % RTT_RESERVOIR;
             self.stats.rtt_samples[idx] = rtt;
         }
@@ -360,6 +381,11 @@ impl<C: CongestionControl> WindowSender<C> {
         if clock.from_lost {
             self.high_rxt = self.high_rxt.max(seq + u64::from(len));
             self.stats.fast_retx += 1;
+            self.tracer
+                .emit(ctx.now, || telemetry::TraceEvent::FastRetx {
+                    flow: self.cfg.flow.0,
+                    seq,
+                });
         }
         let mut pkt = Packet::data(self.cfg.flow, seq, len);
         pkt.is_retx = true;
@@ -368,6 +394,12 @@ impl<C: CongestionControl> WindowSender<C> {
         pkt.is_tail = seq + u64::from(len) >= self.cfg.flow_bytes;
         pkt.mark = TltMark::ImportantClockData;
         pkt.colorize(true);
+        self.tracer
+            .emit(ctx.now, || telemetry::TraceEvent::TltMark {
+                flow: self.cfg.flow.0,
+                seq,
+                important: true,
+            });
         self.note_transmission(seq, len, true);
         self.stats.data_pkts_sent += 1;
         self.stats.clocking_pkts += 1;
@@ -420,7 +452,10 @@ impl<C: CongestionControl> FlowSender for WindowSender<C> {
         let mut deliver = true;
         if let Some(tlt) = &mut self.tlt {
             deliver = tlt.on_ack(pkt.mark, pkt.seq, self.snd_una) == tlt_core::AckVerdict::Deliver;
-            if matches!(pkt.mark, TltMark::ImportantEcho | TltMark::ImportantClockEcho) {
+            if matches!(
+                pkt.mark,
+                TltMark::ImportantEcho | TltMark::ImportantClockEcho
+            ) {
                 // FIFO barrier: everything fully sent before the echoed
                 // important packet and still unaccounted for is lost.
                 self.echo_barrier = Some(self.last_important_order);
@@ -497,6 +532,11 @@ impl<C: CongestionControl> FlowSender for WindowSender<C> {
         match kind {
             TimerKind::Rto => {
                 self.stats.timeouts += 1;
+                self.tracer
+                    .emit(ctx.now, || telemetry::TraceEvent::Timeout {
+                        flow: self.cfg.flow.0,
+                        seq: self.snd_una,
+                    });
                 self.backoff = (self.backoff + 1).min(16);
                 self.cc.on_timeout(self.flight());
                 self.recovery_until = None;
@@ -525,6 +565,11 @@ impl<C: CongestionControl> FlowSender for WindowSender<C> {
                         let len = u64::from(self.cfg.mss).min(self.snd_nxt - self.snd_una) as u32;
                         let seq = self.snd_nxt - u64::from(len);
                         self.stats.fast_retx += 1;
+                        self.tracer
+                            .emit(ctx.now, || telemetry::TraceEvent::FastRetx {
+                                flow: self.cfg.flow.0,
+                                seq,
+                            });
                         self.emit_data(seq, len, true, false, ctx);
                     }
                 }
@@ -541,6 +586,10 @@ impl<C: CongestionControl> FlowSender for WindowSender<C> {
     fn stats(&self) -> &SenderStats {
         &self.stats
     }
+
+    fn set_tracer(&mut self, tracer: telemetry::Tracer) {
+        self.tracer = tracer;
+    }
 }
 
 /// The window-transport receiver: immediate per-packet (S)ACKs.
@@ -554,7 +603,12 @@ pub struct TcpReceiver {
 impl TcpReceiver {
     /// Creates a receiver expecting `flow_bytes` bytes. `tlt_enabled`
     /// activates important-echo generation.
-    pub fn new(flow: FlowId, flow_bytes: u64, tlt_enabled: bool, max_sack_blocks: usize) -> TcpReceiver {
+    pub fn new(
+        flow: FlowId,
+        flow_bytes: u64,
+        tlt_enabled: bool,
+        max_sack_blocks: usize,
+    ) -> TcpReceiver {
         TcpReceiver {
             flow,
             buf: RecvBuffer::new(flow_bytes),
@@ -907,26 +961,29 @@ mod tests {
         assert_eq!(ack.sack[0].end, 3000);
     }
 
-    proptest::proptest! {
-        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
-        /// Any pattern of single-transmission drops is recovered; with TLT
-        /// the transfer completes and (drops permitting) without timeouts.
-        #[test]
-        fn prop_recovery_under_random_drops(seed in 0u64..1000) {
+    /// Any pattern of single-transmission drops is recovered; with TLT
+    /// the transfer completes and (drops permitting) without timeouts.
+    #[test]
+    fn prop_recovery_under_random_drops() {
+        for seed in 0u64..24 {
             let flow_bytes = 40_000u64;
             let mut plan = DropPlan::none();
             // Drop ~25% of first transmissions, pseudo-randomly.
-            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut x = (seed * 41 + 7).wrapping_mul(0x9E3779B97F4A7C15) | 1;
             let mut seq = 0u64;
             while seq < flow_bytes {
-                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
-                if x % 4 == 0 { plan.drop_data_once(seq); }
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if x % 4 == 0 {
+                    plan.drop_data_once(seq);
+                }
                 seq += 1440;
             }
             let (res, _) = run_tcp(cfg(flow_bytes), plan.clone());
-            proptest::prop_assert!(res.receiver_complete, "baseline completes");
+            assert!(res.receiver_complete, "seed {seed}: baseline completes");
             let (res2, _) = run_tcp(tlt_cfg(flow_bytes), plan);
-            proptest::prop_assert!(res2.receiver_complete, "TLT completes");
+            assert!(res2.receiver_complete, "seed {seed}: TLT completes");
         }
     }
 }

@@ -128,7 +128,10 @@ impl Harness {
         loop {
             // Pick the next occurrence: packet events first on ties.
             let ev_t = events.peek_time();
-            let tm = timers.iter().min_by_key(|(_, &at)| at).map(|(&k, &at)| (k, at));
+            let tm = timers
+                .iter()
+                .min_by_key(|(_, &at)| at)
+                .map(|(&k, &at)| (k, at));
             let next = match (ev_t, tm) {
                 (None, None) => break,
                 (Some(e), None) => (e, true),
@@ -205,7 +208,9 @@ impl Harness {
                     }
                     if pkt.kind == PacketKind::Data {
                         self.data_seen += 1;
-                        if self.mark_ce_every > 0 && self.data_seen % self.mark_ce_every == 0 {
+                        if self.mark_ce_every > 0
+                            && self.data_seen.is_multiple_of(self.mark_ce_every)
+                        {
                             pkt.ce = true;
                         }
                     }

@@ -69,7 +69,7 @@ pub fn cache_mixed(
     // Give the background flow a head start (it must be in steady state
     // when the burst hits, as in the testbed run).
     for f in &mut fg {
-        f.start = f.start + SimTime::from_us(200);
+        f.start += SimTime::from_us(200);
     }
     flows.extend(fg);
     flows

@@ -120,7 +120,10 @@ impl MixParams {
 pub fn standard_mix(cdf: &FlowSizeCdf, p: MixParams) -> Vec<FlowSpec> {
     assert!(p.hosts >= 2, "need at least two hosts");
     assert!((0.0..1.0).contains(&p.fg_fraction), "fg fraction in [0,1)");
-    assert!(p.incast_senders < p.hosts, "senders must exclude the receiver");
+    assert!(
+        p.incast_senders < p.hosts,
+        "senders must exclude the receiver"
+    );
     let mut rng = SimRng::seed_from(p.seed);
     let mut flows = Vec::with_capacity(p.bg_flows + 64);
 
@@ -153,9 +156,9 @@ pub fn standard_mix(cdf: &FlowSizeCdf, p: MixParams) -> Vec<FlowSpec> {
     if p.fg_fraction > 0.0 {
         let bg_bytes = p.bg_flows as f64 * mean;
         let fg_bytes_total = bg_bytes * p.fg_fraction / (1.0 - p.fg_fraction);
-        let event_bytes =
-            (p.incast_senders as u64 * u64::from(p.incast_flows_per_sender) * p.incast_flow_bytes)
-                as f64;
+        let event_bytes = (p.incast_senders as u64
+            * u64::from(p.incast_flows_per_sender)
+            * p.incast_flow_bytes) as f64;
         let n_events = (fg_bytes_total / event_bytes).round().max(1.0) as usize;
         for _ in 0..n_events {
             let at = SimTime::from_secs_f64(rng.gen_unit_f64() * duration);

@@ -12,13 +12,20 @@ use transport::TransportKind;
 use workload::cache_requests;
 
 fn p99_ms(cfg: SimConfig, requests: usize, seed: u64) -> f64 {
-    let res = Engine::new(cfg.with_seed(seed), cache_requests(requests, 8, 32_000, seed)).run();
+    let res = Engine::new(
+        cfg.with_seed(seed),
+        cache_requests(requests, 8, 32_000, seed),
+    )
+    .run();
     summarize_flows(res.flows.iter(), |f| f.fg).p99 * 1e3
 }
 
 fn main() {
     println!("cache SET incast: 99% response time (ms), avg of 3 seeds\n");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>12}", "requests", "TCP", "TCP+TLT", "DCTCP", "DCTCP+TLT");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12}",
+        "requests", "TCP", "TCP+TLT", "DCTCP", "DCTCP+TLT"
+    );
     for requests in [20usize, 60, 100, 140, 180] {
         let mut cells = Vec::new();
         for (kind, tlt) in [

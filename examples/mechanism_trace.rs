@@ -62,12 +62,18 @@ fn figure3b() {
     // known: clock with a single byte.
     tx.on_ack(TltMark::ImportantEcho, 1441, 1441);
     let c = tx.take_clocking(false, 1440).expect("armed");
-    println!("  no loss indicated  -> clock {} byte(s) of the first unacked segment", c.bytes);
+    println!(
+        "  no loss indicated  -> clock {} byte(s) of the first unacked segment",
+        c.bytes
+    );
 
     // Next echo indicates a loss (SACK hole): clock a full MSS of it.
     tx.on_ack(TltMark::ImportantClockEcho, 2881, 1441);
     let c = tx.take_clocking(true, 1440).expect("armed");
-    println!("  loss indicated     -> clock {} bytes of the lost segment", c.bytes);
+    println!(
+        "  loss indicated     -> clock {} bytes of the lost segment",
+        c.bytes
+    );
     println!(
         "\n  1 byte keeps self-clocking alive at negligible cost; a full MSS\n  \
          repairs a known hole in one round-trip (vs 1440 round-trips at one\n  \

@@ -15,8 +15,8 @@ use netstats::summarize_flows;
 use transport::TransportKind;
 
 fn run(tlt: bool) {
-    let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp)
-        .with_topology(small_single_switch(17));
+    let mut cfg =
+        SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(17));
     // A deliberately shallow buffer, so the synchronized burst actually
     // overruns the dynamic threshold.
     cfg.switch.buffer_bytes = 500_000;
@@ -27,9 +27,7 @@ fn run(tlt: bool) {
     }
     // 16 senders, two 8 kB flows each, all arriving at t = 0.
     let flows: Vec<FlowSpec> = (1..17)
-        .flat_map(|s| {
-            (0..3).map(move |_| FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true))
-        })
+        .flat_map(|s| (0..3).map(move |_| FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true)))
         .collect();
 
     let res = Engine::new(cfg, flows).run();

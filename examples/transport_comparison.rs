@@ -14,7 +14,11 @@ use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf, MixParams};
 
 fn topology(p: &MixParams, roce: bool) -> TopologySpec {
-    let delay = if roce { SimTime::from_us(1) } else { SimTime::from_us(10) };
+    let delay = if roce {
+        SimTime::from_us(1)
+    } else {
+        SimTime::from_us(10)
+    };
     let link = LinkSpec::new(p.link_bw_bps, delay);
     TopologySpec::LeafSpine {
         cores: p.cores,

@@ -129,8 +129,8 @@ fn pfc_is_lossless_under_heavy_incast() {
             ]
         })
         .collect();
-    let mut lossy = SimConfig::tcp_family(TransportKind::Dctcp)
-        .with_topology(small_single_switch(33));
+    let mut lossy =
+        SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(33));
     lossy.switch.buffer_bytes = 700_000;
     let lossy_res = Engine::new(lossy.clone(), flows.clone()).run();
     assert!(lossy_res.agg.drops_dt > 0, "burst must overrun the buffer");
@@ -150,7 +150,10 @@ fn app_emulation_cache_requests_complete() {
         .with_tlt();
     let res = Engine::new(cfg, workload::cache_requests(96, 8, 32_000, 4)).run();
     assert!(res.flows.iter().all(|f| f.end.is_some()));
-    assert_eq!(res.agg.timeouts, 0, "TLT keeps the cache incast timeout-free");
+    assert_eq!(
+        res.agg.timeouts, 0,
+        "TLT keeps the cache incast timeout-free"
+    );
 }
 
 #[test]

@@ -1,0 +1,210 @@
+//! Flight-recorder integration tests: the tracing layer observed through a
+//! real engine run must be deterministic, complete, and consistent with the
+//! engine's own aggregate counters.
+
+use std::rc::Rc;
+
+use dcsim::{small_single_switch, Engine, SimConfig};
+use eventsim::SimTime;
+use telemetry::inspect::inspect_str;
+use telemetry::{CountingSink, JsonlSink, SeriesSink, TraceEvent, Tracer};
+use transport::TransportKind;
+use workload::incast_burst;
+
+/// A config that exercises drops, CE marking, and timeouts: a DCTCP incast
+/// into one switch, tight enough to overflow the color-blind thresholds.
+fn incast_cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(9));
+    cfg.max_time = SimTime::from_ms(50);
+    cfg.with_seed(seed)
+}
+
+/// The same shape in lossless (PFC) mode, to exercise XOFF/XON.
+fn pfc_cfg(seed: u64) -> SimConfig {
+    incast_cfg(seed).with_pfc()
+}
+
+fn jsonl_run(cfg: SimConfig, flows: Vec<dcsim::FlowSpec>) -> (Vec<u8>, dcsim::AggregateStats) {
+    let (tracer, sink) = Tracer::new(JsonlSink::new(Vec::new()));
+    let mut eng = Engine::new(cfg, flows);
+    eng.set_tracer(tracer.clone());
+    let res = eng.run();
+    tracer.flush();
+    drop(tracer);
+    let bytes = Rc::try_unwrap(sink)
+        .ok()
+        .expect("tracer handles dropped")
+        .into_inner()
+        .into_inner();
+    (bytes, res.agg)
+}
+
+#[test]
+fn trace_is_byte_identical_across_identical_runs() {
+    let run = || jsonl_run(incast_cfg(7), incast_burst(60, 8, 32_000, 7));
+    let (a, agg_a) = run();
+    let (b, agg_b) = run();
+    assert!(!a.is_empty(), "trace must not be empty");
+    assert!(
+        a.len() > 100_000,
+        "incast trace suspiciously small: {} bytes",
+        a.len()
+    );
+    assert_eq!(a, b, "same config + seed must produce identical traces");
+    assert_eq!(agg_a.timeouts, agg_b.timeouts);
+    assert_eq!(agg_a.drops_color, agg_b.drops_color);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let (a, _) = jsonl_run(incast_cfg(7), incast_burst(60, 8, 32_000, 7));
+    let (b, _) = jsonl_run(incast_cfg(8), incast_burst(60, 8, 32_000, 8));
+    assert_ne!(a, b, "different seeds should produce different traces");
+}
+
+fn assert_counts_match(cfg: SimConfig, flows: Vec<dcsim::FlowSpec>) {
+    let n_flows = flows.len() as u64;
+    let (tracer, sink) = Tracer::new(CountingSink::default());
+    let mut eng = Engine::new(cfg, flows);
+    eng.set_tracer(tracer);
+    let agg = eng.run().agg;
+    let c = &sink.borrow().totals;
+    assert_eq!(c.drops_color, agg.drops_color, "color drops");
+    assert_eq!(c.drops_dt, agg.drops_dt, "dynamic-threshold drops");
+    assert_eq!(c.drops_overflow, agg.drops_overflow, "overflow drops");
+    assert_eq!(c.drops_wire, agg.wire_drops, "wire drops");
+    assert_eq!(c.ce_marked, agg.ce_marked, "CE marks");
+    assert_eq!(c.pauses, agg.pause_frames, "PFC pause frames");
+    assert_eq!(c.timeouts, agg.timeouts, "timeouts");
+    assert_eq!(c.fast_retx, agg.fast_retx, "fast retransmissions");
+    assert_eq!(c.flows_started, n_flows, "every flow emits flow_start");
+}
+
+#[test]
+fn trace_counts_match_aggregate_stats_lossy() {
+    let cfg = incast_cfg(3);
+    assert_counts_match(cfg, incast_burst(80, 8, 32_000, 3));
+}
+
+#[test]
+fn trace_counts_match_aggregate_stats_pfc() {
+    let cfg = pfc_cfg(4);
+    assert_counts_match(cfg, incast_burst(80, 8, 32_000, 4));
+}
+
+#[test]
+fn trace_counts_match_aggregate_stats_wire_loss() {
+    let mut cfg = incast_cfg(5);
+    cfg.wire_loss_rate = 0.002;
+    assert_counts_match(cfg, incast_burst(40, 8, 32_000, 5));
+}
+
+#[test]
+fn inspector_confirms_bracketed_run() {
+    let cfg = incast_cfg(11);
+    let flows = incast_burst(60, 8, 32_000, 11);
+    let (tracer, sink) = Tracer::new(JsonlSink::new(Vec::new()));
+    tracer.emit(SimTime::ZERO, || TraceEvent::RunStart {
+        label: "itest/incast".to_string(),
+        seed: 11,
+    });
+    let mut eng = Engine::new(cfg, flows);
+    eng.set_tracer(tracer.clone());
+    let agg = eng.run().agg;
+    tracer.emit(agg.duration, || TraceEvent::RunEnd {
+        drops_color: agg.drops_color,
+        drops_dt: agg.drops_dt,
+        drops_overflow: agg.drops_overflow,
+        wire_drops: agg.wire_drops,
+        pause_frames: agg.pause_frames,
+        timeouts: agg.timeouts,
+    });
+    tracer.flush();
+    drop(tracer);
+    let bytes = Rc::try_unwrap(sink)
+        .ok()
+        .expect("tracer handles dropped")
+        .into_inner()
+        .into_inner();
+    let text = String::from_utf8(bytes).expect("trace is utf-8");
+
+    let report = inspect_str(&text);
+    assert!(
+        report.is_clean(),
+        "inspector found inconsistencies:\n{}",
+        report.render()
+    );
+    assert_eq!(report.runs.len(), 1);
+    let run = &report.runs[0];
+    assert_eq!(run.label, "itest/incast");
+    assert_eq!(run.seed, 11);
+    assert_eq!(run.totals.drops_color, agg.drops_color);
+    assert_eq!(run.totals.timeouts, agg.timeouts);
+    // The per-switch drop table must account for every switch drop.
+    let table_drops: u64 = run.per_node.values().map(|n| n.switch_drops()).sum();
+    assert_eq!(
+        table_drops,
+        agg.drops_color + agg.drops_dt + agg.drops_overflow
+    );
+
+    // Tampering with a declared total must be caught.
+    let tampered = text.replace(
+        "\"ev\":\"run_end\",\"drops_color\":",
+        "\"ev\":\"run_end\",\"drops_color\":9",
+    );
+    assert!(
+        !inspect_str(&tampered).is_clean(),
+        "inspector must flag a run whose declared totals disagree with its events"
+    );
+}
+
+#[test]
+fn port_samples_cover_every_switch_port_at_the_configured_period() {
+    let mut cfg = pfc_cfg(6);
+    cfg.trace_sample_every = Some(SimTime::from_us(100));
+    let (tracer, sink) = Tracer::new(SeriesSink::default());
+    let mut eng = Engine::new(cfg, incast_burst(60, 8, 32_000, 6));
+    eng.set_tracer(tracer);
+    let agg = eng.run().agg;
+    let sink = sink.borrow();
+    // Single-switch topology with 9 hosts: node 9 is the switch, ports 0..9.
+    assert_eq!(sink.series.len(), 9, "one series per switch port");
+    for (key, points) in &sink.series {
+        assert!(
+            points.len() >= 2,
+            "port {key:?} sampled only {} times",
+            points.len()
+        );
+        // Samples are strictly ordered at the configured cadence.
+        for w in points.windows(2) {
+            assert_eq!(
+                w[1].t.as_ns() - w[0].t.as_ns(),
+                100_000,
+                "sampling period drifted on {key:?}"
+            );
+        }
+        // Cumulative per-port drop counters never decrease.
+        for w in points.windows(2) {
+            assert!(w[1].drops_color >= w[0].drops_color);
+            assert!(w[1].drops_dt >= w[0].drops_dt);
+            assert!(w[1].drops_overflow >= w[0].drops_overflow);
+        }
+    }
+    // The deepest sampled queue cannot exceed the engine's observed maximum.
+    assert!(sink.max_qlen() <= agg.max_queue_bytes);
+}
+
+#[test]
+fn disabled_tracer_changes_nothing() {
+    let base = Engine::new(incast_cfg(9), incast_burst(60, 8, 32_000, 9))
+        .run()
+        .agg;
+    let mut eng = Engine::new(incast_cfg(9), incast_burst(60, 8, 32_000, 9));
+    eng.set_tracer(Tracer::off());
+    let traced = eng.run().agg;
+    assert_eq!(base.timeouts, traced.timeouts);
+    assert_eq!(base.drops_color, traced.drops_color);
+    assert_eq!(base.drops_dt, traced.drops_dt);
+    assert_eq!(base.ce_marked, traced.ce_marked);
+    assert_eq!(base.duration, traced.duration);
+}

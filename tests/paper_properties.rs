@@ -57,7 +57,10 @@ fn important_drops_rise_with_color_threshold() {
     };
     // K small: plenty of headroom for green packets.
     let small = run(100_000);
-    assert_eq!(small.agg.drops_green_data, 0, "reserved room protects green");
+    assert_eq!(
+        small.agg.drops_green_data, 0,
+        "reserved room protects green"
+    );
     // K close to the DT cap (~250 kB at 500 kB pool): reds fill the queue
     // and green packets start dying.
     let large = run(240_000);
@@ -65,8 +68,10 @@ fn important_drops_rise_with_color_threshold() {
         large.agg.drops_green_data >= small.agg.drops_green_data,
         "less reserved room cannot mean fewer important drops"
     );
-    assert!(large.agg.drops_color <= small.agg.drops_color,
-        "a larger K proactively drops fewer red packets");
+    assert!(
+        large.agg.drops_color <= small.agg.drops_color,
+        "a larger K proactively drops fewer red packets"
+    );
 }
 
 /// §7.1 / Figure 7b-c: with PFC on, TLT's proactive dropping keeps queues
@@ -97,7 +102,11 @@ fn tlt_marks_few_packets_on_long_flows() {
     let cfg = SimConfig::tcp_family(TransportKind::Dctcp)
         .with_topology(small_single_switch(2))
         .with_tlt();
-    let res = Engine::new(cfg, vec![FlowSpec::new(0, 1, 5_000_000, SimTime::ZERO, false)]).run();
+    let res = Engine::new(
+        cfg,
+        vec![FlowSpec::new(0, 1, 5_000_000, SimTime::ZERO, false)],
+    )
+    .run();
     let frac = res.agg.important_fraction();
     assert!(
         frac < 0.10,
