@@ -4,6 +4,7 @@
 //! p99 FCT by ~41% but costs +113% bg average FCT, 31% bg goodput, and a
 //! 51× increase in timeouts — aggressive static timeouts are harmful.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use eventsim::SimTime;
 use transport::{RtoMode, TransportKind};
@@ -12,33 +13,38 @@ use workload::{standard_mix, FlowSizeCdf};
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
+    let cdf = &cdf;
     let mut p = args.mix();
     p.fg_fraction = 0.15;
+
+    let mut plan = RunPlan::new(&args);
+    for (name, rto) in [
+        ("baseline 4ms RTOmin", RtoMode::linux_default()),
+        ("fixed 160us RTO", RtoMode::Fixed(SimTime::from_us(160))),
+    ] {
+        plan.scheme(
+            name,
+            move |_s| {
+                let mut cfg =
+                    runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Baseline, false);
+                cfg.rto = rto;
+                cfg
+            },
+            move |s| {
+                let mut mp = p;
+                mp.seed = s;
+                standard_mix(cdf, mp)
+            },
+        );
+    }
+    let results = plan.run();
 
     let mut rows = Vec::new();
     runner::print_header(
         "Figure 2: fixed 160us RTO vs 4ms RTO_min (DCTCP, fg=15%)",
         &["fg p99 (ms)", "bg avg (ms)", "bg gbps", "TO/1k"],
     );
-    for (name, rto) in [
-        ("baseline 4ms RTOmin", RtoMode::linux_default()),
-        ("fixed 160us RTO", RtoMode::Fixed(SimTime::from_us(160))),
-    ] {
-        let r = runner::run_scheme(
-            name,
-            args.seeds,
-            |_s| {
-                let mut cfg =
-                    runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Baseline, false);
-                cfg.rto = rto;
-                cfg
-            },
-            |s| {
-                let mut mp = p;
-                mp.seed = s;
-                standard_mix(&cdf, mp)
-            },
-        );
+    for r in &results {
         runner::print_row(
             &r.name,
             &[

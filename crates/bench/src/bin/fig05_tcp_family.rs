@@ -8,6 +8,7 @@
 //! +PFC ≈ 2.1 ms but bg avg 19.3 → 48.8 ms; +TLT ≈ 80.9% lower fg p99.9
 //! than baseline with only a slight bg increase.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf};
@@ -15,12 +16,10 @@ use workload::{standard_mix, FlowSizeCdf};
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
-    let mut rows = Vec::new();
+    let cdf = &cdf;
+    let p = args.mix();
 
-    runner::print_header(
-        "Figure 5: TCP/DCTCP FCT (standard mix)",
-        &["fg p99.9 (ms)", "fg p99 (ms)", "bg avg (ms)", "TO/1k"],
-    );
+    let mut plan = RunPlan::new(&args);
     for kind in [TransportKind::Dctcp, TransportKind::Tcp] {
         for pfc in [false, true] {
             for v in TcpVariant::ALL {
@@ -30,35 +29,42 @@ fn main() {
                     if pfc { "+PFC" } else { "" },
                     v.label()
                 );
-                let p = args.mix();
-                let r = runner::run_scheme(
-                    name.clone(),
-                    args.seeds,
-                    |_s| runner::tcp_cfg(&p, kind, v, pfc),
-                    |s| {
+                plan.scheme(
+                    name,
+                    move |_s| runner::tcp_cfg(&p, kind, v, pfc),
+                    move |s| {
                         let mut mp = p;
                         mp.seed = s;
-                        standard_mix(&cdf, mp)
+                        standard_mix(cdf, mp)
                     },
                 );
-                runner::print_row(
-                    &r.name,
-                    &[
-                        &r.fg_p999_ms,
-                        &r.fg_p99_ms,
-                        &r.bg_avg_ms,
-                        &r.timeouts_per_1k,
-                    ],
-                );
-                rows.push(vec![
-                    r.name.clone(),
-                    format!("{:.4}", r.fg_p999_ms.mean()),
-                    format!("{:.4}", r.fg_p99_ms.mean()),
-                    format!("{:.4}", r.bg_avg_ms.mean()),
-                    format!("{:.3}", r.timeouts_per_1k.mean()),
-                ]);
             }
         }
+    }
+    let results = plan.run();
+
+    let mut rows = Vec::new();
+    runner::print_header(
+        "Figure 5: TCP/DCTCP FCT (standard mix)",
+        &["fg p99.9 (ms)", "fg p99 (ms)", "bg avg (ms)", "TO/1k"],
+    );
+    for r in &results {
+        runner::print_row(
+            &r.name,
+            &[
+                &r.fg_p999_ms,
+                &r.fg_p99_ms,
+                &r.bg_avg_ms,
+                &r.timeouts_per_1k,
+            ],
+        );
+        rows.push(vec![
+            r.name.clone(),
+            format!("{:.4}", r.fg_p999_ms.mean()),
+            format!("{:.4}", r.fg_p99_ms.mean()),
+            format!("{:.4}", r.bg_avg_ms.mean()),
+            format!("{:.3}", r.timeouts_per_1k.mean()),
+        ]);
     }
     runner::maybe_csv(
         &args,

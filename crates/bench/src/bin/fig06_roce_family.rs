@@ -8,6 +8,7 @@
 //! and vanilla DCQCN's by 69.1%; with DCQCN+SACK+PFC it cuts bg avg by
 //! 21.4% via fewer PAUSE frames.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args};
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf};
@@ -15,12 +16,9 @@ use workload::{standard_mix, FlowSizeCdf};
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
-    let mut rows = Vec::new();
+    let cdf = &cdf;
+    let p = args.mix();
 
-    runner::print_header(
-        "Figure 6: RoCE-family FCT (standard mix)",
-        &["fg p99.9 (ms)", "fg p99 (ms)", "bg avg (ms)", "TO/1k"],
-    );
     let schemes: Vec<(TransportKind, bool, bool)> = vec![
         // (kind, tlt, pfc)
         (TransportKind::Hpcc, false, false),
@@ -38,6 +36,7 @@ fn main() {
         (TransportKind::DcqcnGbn, true, false),
         (TransportKind::DcqcnGbn, true, true),
     ];
+    let mut plan = RunPlan::new(&args);
     for (kind, tlt, pfc) in schemes {
         let name = format!(
             "{}{}{}",
@@ -45,17 +44,24 @@ fn main() {
             if pfc { "+PFC" } else { "" },
             if tlt { "+TLT" } else { "" }
         );
-        let p = args.mix();
-        let r = runner::run_scheme(
+        plan.scheme(
             name,
-            args.seeds,
-            |_s| runner::roce_cfg(&p, kind, tlt, pfc),
-            |s| {
+            move |_s| runner::roce_cfg(&p, kind, tlt, pfc),
+            move |s| {
                 let mut mp = p;
                 mp.seed = s;
-                standard_mix(&cdf, mp)
+                standard_mix(cdf, mp)
             },
         );
+    }
+    let results = plan.run();
+
+    let mut rows = Vec::new();
+    runner::print_header(
+        "Figure 6: RoCE-family FCT (standard mix)",
+        &["fg p99.9 (ms)", "fg p99 (ms)", "bg avg (ms)", "TO/1k"],
+    );
+    for r in &results {
         runner::print_row(
             &r.name,
             &[

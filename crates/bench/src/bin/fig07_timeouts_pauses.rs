@@ -6,6 +6,7 @@
 //! TLT. Paper: DCTCP+TLT nearly eliminates timeouts; TLT reduces PAUSE
 //! frames by 27.7% (DCTCP) / 93.2% (TCP) and paused time by 66.7% / 95.8%.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf};
@@ -13,40 +14,26 @@ use workload::{standard_mix, FlowSizeCdf};
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
-    let mut rows = Vec::new();
+    let cdf = &cdf;
+    let p = args.mix();
 
-    runner::print_header(
-        "Figure 7a: timeouts per 1k flows (lossy network)",
-        &["TO/1k", "imp loss rate"],
-    );
+    // Panels (a) and (b)/(c) share one plan so every (scheme, seed) job
+    // draws from the same worker pool.
+    let mut plan = RunPlan::new(&args);
     for kind in [TransportKind::Dctcp, TransportKind::Tcp] {
         for v in TcpVariant::ALL {
-            let p = args.mix();
-            let r = runner::run_scheme(
+            plan.scheme(
                 format!("{} {}", kind.name(), v.label()),
-                args.seeds,
-                |_s| runner::tcp_cfg(&p, kind, v, false),
-                |s| {
+                move |_s| runner::tcp_cfg(&p, kind, v, false),
+                move |s| {
                     let mut mp = p;
                     mp.seed = s;
-                    standard_mix(&cdf, mp)
+                    standard_mix(cdf, mp)
                 },
             );
-            runner::print_row(&r.name, &[&r.timeouts_per_1k, &r.important_loss]);
-            rows.push(vec![
-                r.name.clone(),
-                format!("{:.3}", r.timeouts_per_1k.mean()),
-                format!("{:.3e}", r.important_loss.mean()),
-                String::new(),
-                String::new(),
-            ]);
         }
     }
-
-    runner::print_header(
-        "Figure 7b/7c: PAUSE frames and paused time (PFC network)",
-        &["PAUSE/1k", "pause frac", "TO/1k"],
-    );
+    let panel_a = plan.len();
     for (kind, tlt) in [
         (TransportKind::Dctcp, false),
         (TransportKind::Dctcp, true),
@@ -58,17 +45,39 @@ fn main() {
         } else {
             TcpVariant::Baseline
         };
-        let p = args.mix();
-        let r = runner::run_scheme(
+        plan.scheme(
             format!("{}+PFC{}", kind.name(), if tlt { "+TLT" } else { "" }),
-            args.seeds,
-            |_s| runner::tcp_cfg(&p, kind, v, true),
-            |s| {
+            move |_s| runner::tcp_cfg(&p, kind, v, true),
+            move |s| {
                 let mut mp = p;
                 mp.seed = s;
-                standard_mix(&cdf, mp)
+                standard_mix(cdf, mp)
             },
         );
+    }
+    let results = plan.run();
+
+    let mut rows = Vec::new();
+    runner::print_header(
+        "Figure 7a: timeouts per 1k flows (lossy network)",
+        &["TO/1k", "imp loss rate"],
+    );
+    for r in &results[..panel_a] {
+        runner::print_row(&r.name, &[&r.timeouts_per_1k, &r.important_loss]);
+        rows.push(vec![
+            r.name.clone(),
+            format!("{:.3}", r.timeouts_per_1k.mean()),
+            format!("{:.3e}", r.important_loss.mean()),
+            String::new(),
+            String::new(),
+        ]);
+    }
+
+    runner::print_header(
+        "Figure 7b/7c: PAUSE frames and paused time (PFC network)",
+        &["PAUSE/1k", "pause frac", "TO/1k"],
+    );
+    for r in &results[panel_a..] {
         runner::print_row(
             &r.name,
             &[&r.pause_per_1k, &r.pause_frac, &r.timeouts_per_1k],

@@ -6,15 +6,40 @@
 //! drops start costing timeouts. With PFC, both rise as PAUSE becomes
 //! frequent, until extreme HoL blocking reverses the fg trend.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf};
 
+const KS: [u64; 9] = [200, 300, 400, 500, 600, 700, 800, 900, 1000];
+
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
-    let mut rows = Vec::new();
+    let cdf = &cdf;
+    let p = args.mix();
 
+    let mut plan = RunPlan::new(&args);
+    for pfc in [false, true] {
+        for k in KS {
+            plan.scheme(
+                format!("K={k}kB"),
+                move |_s| {
+                    let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, pfc);
+                    cfg.switch.color_threshold = Some(k * 1000);
+                    cfg
+                },
+                move |s| {
+                    let mut mp = p;
+                    mp.seed = s;
+                    standard_mix(cdf, mp)
+                },
+            );
+        }
+    }
+    let mut results = plan.run().into_iter();
+
+    let mut rows = Vec::new();
     for pfc in [false, true] {
         runner::print_header(
             &format!(
@@ -24,22 +49,8 @@ fn main() {
             ),
             &["fg p99.9 (ms)", "bg avg (ms)", "imp loss", "PAUSE/1k"],
         );
-        for k in [200u64, 300, 400, 500, 600, 700, 800, 900, 1000] {
-            let p = args.mix();
-            let r = runner::run_scheme(
-                format!("K={k}kB"),
-                args.seeds,
-                |_s| {
-                    let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, pfc);
-                    cfg.switch.color_threshold = Some(k * 1000);
-                    cfg
-                },
-                |s| {
-                    let mut mp = p;
-                    mp.seed = s;
-                    standard_mix(&cdf, mp)
-                },
-            );
+        for k in KS {
+            let r = results.next().expect("one result per scheme");
             runner::print_row(
                 &r.name,
                 &[

@@ -5,31 +5,31 @@
 //! 60%); for DCTCP, TLT helps below ~50% load but the retransmission
 //! penalty overtakes the HoL-blocking penalty beyond it.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf};
 
+const PANELS: [(&str, TransportKind); 2] = [
+    ("a: HPCC+PFC", TransportKind::Hpcc),
+    ("b: DCTCP+PFC", TransportKind::Dctcp),
+];
+const LOADS: [f64; 6] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
-    let mut rows = Vec::new();
+    let cdf = &cdf;
 
-    for (panel, kind) in [
-        ("a: HPCC+PFC", TransportKind::Hpcc),
-        ("b: DCTCP+PFC", TransportKind::Dctcp),
-    ] {
-        runner::print_header(
-            &format!("Figure 9{panel} load sweep"),
-            &["fg p99 (ms)", "bg avg (ms)", "PAUSE/1k"],
-        );
-        for load in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+    let mut plan = RunPlan::new(&args);
+    for (_panel, kind) in PANELS {
+        for load in LOADS {
             for tlt in [false, true] {
                 let mut p = args.mix();
                 p.load = load;
-                let r = runner::run_scheme(
+                plan.scheme(
                     format!("load={load:.1}{}", if tlt { " +TLT" } else { "" }),
-                    args.seeds,
-                    |_s| {
+                    move |_s| {
                         if kind.is_roce() {
                             runner::roce_cfg(&p, kind, tlt, true)
                         } else {
@@ -41,12 +41,26 @@ fn main() {
                             runner::tcp_cfg(&p, kind, v, true)
                         }
                     },
-                    |s| {
+                    move |s| {
                         let mut mp = p;
                         mp.seed = s;
-                        standard_mix(&cdf, mp)
+                        standard_mix(cdf, mp)
                     },
                 );
+            }
+        }
+    }
+    let mut results = plan.run().into_iter();
+
+    let mut rows = Vec::new();
+    for (panel, kind) in PANELS {
+        runner::print_header(
+            &format!("Figure 9{panel} load sweep"),
+            &["fg p99 (ms)", "bg avg (ms)", "PAUSE/1k"],
+        );
+        for load in LOADS {
+            for tlt in [false, true] {
+                let r = results.next().expect("one result per scheme");
                 runner::print_row(&r.name, &[&r.fg_p99_ms, &r.bg_avg_ms, &r.pause_per_1k]);
                 rows.push(vec![
                     kind.name().to_string(),

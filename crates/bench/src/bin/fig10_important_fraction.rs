@@ -5,32 +5,40 @@
 //! with the incast share (short flows mark a higher fraction, and
 //! congestion shrinks windows).
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf};
 
+const FG_SHARES: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
+
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
-    let mut rows = Vec::new();
+    let cdf = &cdf;
 
+    let mut plan = RunPlan::new(&args);
+    for fg_pct in FG_SHARES {
+        let mut p = args.mix();
+        p.fg_fraction = fg_pct;
+        plan.scheme(
+            format!("fg={:.0}%", fg_pct * 100.0),
+            move |_s| runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, false),
+            move |s| {
+                let mut mp = p;
+                mp.seed = s;
+                standard_mix(cdf, mp)
+            },
+        );
+    }
+    let results = plan.run();
+
+    let mut rows = Vec::new();
     runner::print_header(
         "Figure 10: important-packet fraction vs fg share (DCTCP+TLT)",
         &["important frac", "fg p99.9 (ms)"],
     );
-    for fg_pct in [0.0, 0.05, 0.10, 0.15, 0.20] {
-        let mut p = args.mix();
-        p.fg_fraction = fg_pct;
-        let r = runner::run_scheme(
-            format!("fg={:.0}%", fg_pct * 100.0),
-            args.seeds,
-            |_s| runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, false),
-            |s| {
-                let mut mp = p;
-                mp.seed = s;
-                standard_mix(&cdf, mp)
-            },
-        );
+    for (fg_pct, r) in FG_SHARES.iter().zip(&results) {
         runner::print_row(&r.name, &[&r.important_frac, &r.fg_p999_ms]);
         rows.push(vec![
             format!("{fg_pct:.2}"),

@@ -7,36 +7,65 @@
 //! bursty arrivals while TLT caps the total ~23% lower and keeps the
 //! median near 130 kB, under the ECN threshold.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use eventsim::SimTime;
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf};
 
+const KS: [u64; 5] = [200, 300, 400, 500, 600];
+
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
-    let mut rows = Vec::new();
+    let cdf = &cdf;
+    let p = args.mix();
 
-    runner::print_header(
-        "Figure 11a: important fraction vs K (DCTCP+TLT)",
-        &["important frac"],
-    );
-    for k in [200u64, 300, 400, 500, 600] {
-        let p = args.mix();
-        let r = runner::run_scheme(
+    let mut plan = RunPlan::new(&args);
+    for k in KS {
+        plan.scheme(
             format!("K={k}kB"),
-            args.seeds,
-            |_s| {
+            move |_s| {
                 let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, false);
                 cfg.switch.color_threshold = Some(k * 1000);
                 cfg
             },
-            |s| {
+            move |s| {
                 let mut mp = p;
                 mp.seed = s;
-                standard_mix(&cdf, mp)
+                standard_mix(cdf, mp)
             },
         );
+    }
+    let panel_a = plan.len();
+    for tlt in [false, true] {
+        let v = if tlt {
+            TcpVariant::Tlt
+        } else {
+            TcpVariant::Baseline
+        };
+        plan.scheme(
+            format!("DCTCP{}", if tlt { "+TLT" } else { "" }),
+            move |_s| {
+                let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, v, false);
+                cfg.queue_sample_every = Some(SimTime::from_us(20));
+                cfg
+            },
+            move |s| {
+                let mut mp = p;
+                mp.seed = s;
+                standard_mix(cdf, mp)
+            },
+        );
+    }
+    let results = plan.run();
+
+    let mut rows = Vec::new();
+    runner::print_header(
+        "Figure 11a: important fraction vs K (DCTCP+TLT)",
+        &["important frac"],
+    );
+    for (k, r) in KS.iter().zip(&results[..panel_a]) {
         runner::print_row(&r.name, &[&r.important_frac]);
         rows.push(vec![
             "11a".into(),
@@ -50,27 +79,7 @@ fn main() {
         "Figure 11b: queue occupancy (DCTCP vs DCTCP+TLT)",
         &["max q (kB)", "median q (kB)"],
     );
-    for tlt in [false, true] {
-        let v = if tlt {
-            TcpVariant::Tlt
-        } else {
-            TcpVariant::Baseline
-        };
-        let p = args.mix();
-        let r = runner::run_scheme(
-            format!("DCTCP{}", if tlt { "+TLT" } else { "" }),
-            args.seeds,
-            |_s| {
-                let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, v, false);
-                cfg.queue_sample_every = Some(SimTime::from_us(20));
-                cfg
-            },
-            |s| {
-                let mut mp = p;
-                mp.seed = s;
-                standard_mix(&cdf, mp)
-            },
-        );
+    for r in &results[panel_a..] {
         runner::print_row(&r.name, &[&r.max_queue_kb, &r.median_queue_kb]);
         rows.push(vec![
             "11b".into(),

@@ -7,10 +7,18 @@
 //! variance as the fan-in grows; with TLT they stay steady (~0.2–4.4 ms),
 //! up to 91.7% (TCP) / 91.5% (DCTCP) lower at the max.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use dcsim::{small_single_switch, SimConfig};
 use transport::TransportKind;
 use workload::cache_requests;
+
+const SCHEMES: [(TransportKind, bool); 4] = [
+    (TransportKind::Tcp, false),
+    (TransportKind::Tcp, true),
+    (TransportKind::Dctcp, false),
+    (TransportKind::Dctcp, true),
+];
 
 fn cfg(kind: TransportKind, tlt: bool) -> SimConfig {
     let v = if tlt {
@@ -24,12 +32,25 @@ fn cfg(kind: TransportKind, tlt: bool) -> SimConfig {
 
 fn main() {
     let args = Args::parse();
-    let mut rows = Vec::new();
     let counts: Vec<usize> = if args.quick {
         vec![60, 180]
     } else {
         vec![20, 60, 100, 140, 180]
     };
+
+    let mut plan = RunPlan::new(&args);
+    for &n in &counts {
+        for (kind, tlt) in SCHEMES {
+            plan.scheme(
+                "",
+                move |_s| cfg(kind, tlt),
+                move |s| cache_requests(n, 8, 32_000, s),
+            );
+        }
+    }
+    let mut results = plan.run().into_iter();
+
+    let mut rows = Vec::new();
     runner::print_header(
         "Figure 12: 99% response time (ms) vs concurrent 32kB SETs",
         &["TCP", "TCP+TLT", "DCTCP", "DCTCP+TLT"],
@@ -37,18 +58,8 @@ fn main() {
     for &n in &counts {
         let mut line = format!("{n:<28}");
         let mut row = vec![n.to_string()];
-        for (kind, tlt) in [
-            (TransportKind::Tcp, false),
-            (TransportKind::Tcp, true),
-            (TransportKind::Dctcp, false),
-            (TransportKind::Dctcp, true),
-        ] {
-            let r = runner::run_scheme(
-                "",
-                args.seeds,
-                |_s| cfg(kind, tlt),
-                |s| cache_requests(n, 8, 32_000, s),
-            );
+        for _ in SCHEMES {
+            let r = results.next().expect("one result per scheme");
             line.push_str(&format!(
                 "{:>10.3}±{:<5.3}",
                 r.fg_p99_ms.mean(),

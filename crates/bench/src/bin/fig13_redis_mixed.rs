@@ -5,6 +5,7 @@
 //! reaches 11.3 ms; DCTCP+TLT achieves 3.39 ms (−71.2%) at the cost of a
 //! 5.6% background-goodput dip.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use dcsim::{small_single_switch, SimConfig};
 use transport::TransportKind;
@@ -22,18 +23,24 @@ fn cfg(tlt: bool) -> SimConfig {
 
 fn main() {
     let args = Args::parse();
+
+    let mut plan = RunPlan::new(&args);
+    for tlt in [false, true] {
+        plan.scheme_seeds(
+            format!("DCTCP{}", if tlt { "+TLT" } else { "" }),
+            args.seeds.max(4), // the paper averages four runs
+            move |_s| cfg(tlt),
+            move |s| cache_mixed(152, 8, 32_000, 8_000_000, s),
+        );
+    }
+    let results = plan.run();
+
     let mut rows = Vec::new();
     runner::print_header(
         "Figure 13: 152 x 32kB SETs + 8MB bulk flow (DCTCP)",
         &["fg p99 (ms)", "bg gbps", "TO/1k"],
     );
-    for tlt in [false, true] {
-        let r = runner::run_scheme(
-            format!("DCTCP{}", if tlt { "+TLT" } else { "" }),
-            args.seeds.max(4), // the paper averages four runs
-            |_s| cfg(tlt),
-            |s| cache_mixed(152, 8, 32_000, 8_000_000, s),
-        );
+    for r in &results {
         runner::print_row(
             &r.name,
             &[&r.fg_p99_ms, &r.bg_goodput_gbps, &r.timeouts_per_1k],

@@ -7,11 +7,14 @@
 //! timeout cliff; TLT absorbs ≥4× higher fan-in with no timeouts at all
 //! and cuts p99 FCT by up to 97.2%.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use dcsim::{small_single_switch, SimConfig};
-use netstats::{summarize_flows, Samples};
+use netstats::Samples;
 use transport::TransportKind;
 use workload::incast_burst;
+
+const VARIANTS: [TcpVariant; 3] = [TcpVariant::Baseline, TcpVariant::Us200, TcpVariant::Tlt];
 
 fn cfg(kind: TransportKind, v: TcpVariant) -> SimConfig {
     let p = workload::MixParams::reduced(1);
@@ -20,14 +23,27 @@ fn cfg(kind: TransportKind, v: TcpVariant) -> SimConfig {
 
 fn main() {
     let args = Args::parse();
-    let variants = [TcpVariant::Baseline, TcpVariant::Us200, TcpVariant::Tlt];
     let counts: Vec<usize> = if args.quick {
         vec![40, 120]
     } else {
         vec![20, 40, 60, 80, 100, 120, 160, 200]
     };
-    let mut rows = Vec::new();
 
+    let mut plan = RunPlan::new(&args);
+    for kind in [TransportKind::Tcp, TransportKind::Dctcp] {
+        for &n in &counts {
+            for v in VARIANTS {
+                plan.scheme(
+                    "",
+                    move |_s| cfg(kind, v),
+                    move |s| incast_burst(n, 8, 32_000, s),
+                );
+            }
+        }
+    }
+    let mut results = plan.run().into_iter();
+
+    let mut rows = Vec::new();
     for kind in [TransportKind::Tcp, TransportKind::Dctcp] {
         runner::print_header(
             &format!("Figure 14: 99% FCT (ms) vs #flows, {}", kind.name()),
@@ -36,13 +52,8 @@ fn main() {
         for &n in &counts {
             let mut line = format!("{n:<28}");
             let mut row = vec![kind.name().to_string(), n.to_string()];
-            for v in variants {
-                let r = runner::run_scheme(
-                    "",
-                    args.seeds,
-                    |_s| cfg(kind, v),
-                    |s| incast_burst(n, 8, 32_000, s),
-                );
+            for _ in VARIANTS {
+                let r = results.next().expect("one result per scheme");
                 line.push_str(&format!(
                     "{:>10.3}±{:<5.3}",
                     r.fg_p99_ms.mean(),
@@ -55,9 +66,10 @@ fn main() {
         }
     }
 
-    // Panel (c): CDF of FCT at 100 flows, TCP.
+    // Panel (c): CDF of FCT at 100 flows, TCP. Bespoke per-flow data, so it
+    // stays on the sequential traced-run path.
     println!("\n== Figure 14c: FCT CDF at 100 flows (TCP) ==");
-    for v in variants {
+    for v in VARIANTS {
         let mut fcts = Samples::new();
         for seed in 1..=args.seeds {
             let res = runner::traced_run(
@@ -65,8 +77,6 @@ fn main() {
                 cfg(TransportKind::Tcp, v).with_seed(seed),
                 incast_burst(100, 8, 32_000, seed),
             );
-            let s = summarize_flows(res.flows.iter(), |f| f.fg);
-            let _ = s;
             for f in &res.flows {
                 if let Some(fct) = f.fct() {
                     fcts.push(fct.as_secs_f64() * 1e3);

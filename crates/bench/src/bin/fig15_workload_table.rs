@@ -8,9 +8,16 @@
 //! workloads/loads; for DCQCN/HPCC with SACK, PFC's tail is competitive
 //! but TLT still wins on background FCT.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf, MixParams};
+
+const ROCE: [(TransportKind, bool); 3] = [
+    (TransportKind::DcqcnSack, true),
+    (TransportKind::DcqcnIrn, false),
+    (TransportKind::Hpcc, true),
+];
 
 fn mix_for(args: &Args, load: f64) -> MixParams {
     let mut p = args.mix();
@@ -34,40 +41,31 @@ fn main() {
         ("web_server", FlowSizeCdf::web_server()),
         ("cache_follower", FlowSizeCdf::cache_follower()),
     ];
-    let mut rows = Vec::new();
 
-    for (wname, cdf) in &workloads {
+    let mut plan = RunPlan::new(&args);
+    for (_wname, cdf) in &workloads {
         for &load in &loads {
-            println!("\n== Figure 15: {wname}, load {load:.1} — fg p99.9 (ms) ==");
-            let mut row = vec![wname.to_string(), format!("{load:.1}")];
+            let p = mix_for(&args, load);
             // TCP family.
             for kind in [TransportKind::Dctcp, TransportKind::Tcp] {
                 for v in TcpVariant::ALL {
-                    let p = mix_for(&args, load);
-                    let r = runner::run_scheme(
+                    plan.scheme_seeds(
                         format!("{} {}", kind.name(), v.label()),
                         seeds,
-                        |_s| runner::tcp_cfg(&p, kind, v, false),
-                        |s| {
+                        move |_s| runner::tcp_cfg(&p, kind, v, false),
+                        move |s| {
                             let mut mp = p;
                             mp.seed = s;
                             standard_mix(cdf, mp)
                         },
                     );
-                    println!("  {:<24}{:8.3}", r.name, r.fg_p999_ms.mean());
-                    row.push(format!("{:.4}", r.fg_p999_ms.mean()));
                 }
             }
             // RoCE family: baseline (+PFC where the paper does) vs TLT.
-            for (kind, base_pfc) in [
-                (TransportKind::DcqcnSack, true),
-                (TransportKind::DcqcnIrn, false),
-                (TransportKind::Hpcc, true),
-            ] {
+            for (kind, base_pfc) in ROCE {
                 for tlt in [false, true] {
-                    let p = mix_for(&args, load);
                     let pfc = base_pfc && !tlt;
-                    let r = runner::run_scheme(
+                    plan.scheme_seeds(
                         format!(
                             "{}{}{}",
                             kind.name(),
@@ -75,16 +73,30 @@ fn main() {
                             if tlt { "+TLT" } else { "" }
                         ),
                         seeds,
-                        |_s| runner::roce_cfg(&p, kind, tlt, pfc),
-                        |s| {
+                        move |_s| runner::roce_cfg(&p, kind, tlt, pfc),
+                        move |s| {
                             let mut mp = p;
                             mp.seed = s;
                             standard_mix(cdf, mp)
                         },
                     );
-                    println!("  {:<24}{:8.3}", r.name, r.fg_p999_ms.mean());
-                    row.push(format!("{:.4}", r.fg_p999_ms.mean()));
                 }
+            }
+        }
+    }
+    let mut results = plan.run().into_iter();
+
+    let mut rows = Vec::new();
+    for (wname, _cdf) in &workloads {
+        for &load in &loads {
+            println!("\n== Figure 15: {wname}, load {load:.1} — fg p99.9 (ms) ==");
+            let mut row = vec![wname.to_string(), format!("{load:.1}")];
+            // 8 TCP-family schemes, then 6 RoCE-family schemes, in the
+            // order they were enqueued above.
+            for _ in 0..14 {
+                let r = results.next().expect("one result per scheme");
+                println!("  {:<24}{:8.3}", r.name, r.fg_p999_ms.mean());
+                row.push(format!("{:.4}", r.fg_p999_ms.mean()));
             }
             rows.push(row);
         }

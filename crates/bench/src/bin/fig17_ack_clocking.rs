@@ -6,6 +6,7 @@
 //! frames; 1 byte is cheap but recovery is ~55× slower at the tail;
 //! adaptive gets 1-MTU-like recovery at 1-byte-like overhead.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use tlt_core::ClockingPolicy;
 use transport::TransportKind;
@@ -14,34 +15,39 @@ use workload::{standard_mix, FlowSizeCdf};
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
-    let mut rows = Vec::new();
+    let cdf = &cdf;
+    let p = args.mix();
 
-    runner::print_header(
-        "Figure 17: ACK-clocking policy ablation (DCTCP+TLT+PFC)",
-        &["fg p99.9 (ms)", "clock kB", "PAUSE/1k"],
-    );
+    let mut plan = RunPlan::new(&args);
     for (name, policy) in [
         ("1-Byte", ClockingPolicy::AlwaysOneByte),
         ("adaptive (TLT)", ClockingPolicy::Adaptive),
         ("1-MTU", ClockingPolicy::AlwaysMss),
     ] {
-        let p = args.mix();
-        let r = runner::run_scheme(
+        plan.scheme(
             name,
-            args.seeds,
-            |_s| {
+            move |_s| {
                 let mut cfg = runner::tcp_cfg(&p, TransportKind::Dctcp, TcpVariant::Tlt, true);
                 if let Some(t) = &mut cfg.tlt {
                     t.clocking = policy;
                 }
                 cfg
             },
-            |s| {
+            move |s| {
                 let mut mp = p;
                 mp.seed = s;
-                standard_mix(&cdf, mp)
+                standard_mix(cdf, mp)
             },
         );
+    }
+    let results = plan.run();
+
+    let mut rows = Vec::new();
+    runner::print_header(
+        "Figure 17: ACK-clocking policy ablation (DCTCP+TLT+PFC)",
+        &["fg p99.9 (ms)", "clock kB", "PAUSE/1k"],
+    );
+    for r in &results {
         runner::print_row(&r.name, &[&r.fg_p999_ms, &r.clocking_kb, &r.pause_per_1k]);
         rows.push(vec![
             r.name.clone(),

@@ -4,28 +4,28 @@
 //! paper: TLT's advantage grows with the incast degree — up to 78.9%
 //! (HPCC) and 67.0% (TCP) lower fg tail FCT at the highest degrees.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf};
 
+const KINDS: [TransportKind; 2] = [TransportKind::Hpcc, TransportKind::Tcp];
+const DEGREES: [u32; 5] = [2, 4, 6, 8, 10];
+
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
-    let mut rows = Vec::new();
+    let cdf = &cdf;
 
-    for kind in [TransportKind::Hpcc, TransportKind::Tcp] {
-        runner::print_header(
-            &format!("Figure 18: incast degree sweep, {}", kind.name()),
-            &["fg p99 (ms)", "bg avg (ms)"],
-        );
-        for degree in [2u32, 4, 6, 8, 10] {
+    let mut plan = RunPlan::new(&args);
+    for kind in KINDS {
+        for degree in DEGREES {
             for tlt in [false, true] {
                 let mut p = args.mix();
                 p.incast_flows_per_sender = degree;
-                let r = runner::run_scheme(
+                plan.scheme(
                     format!("deg={degree}{}", if tlt { " +TLT" } else { "" }),
-                    args.seeds,
-                    |_s| {
+                    move |_s| {
                         if kind.is_roce() {
                             runner::roce_cfg(&p, kind, tlt, false)
                         } else {
@@ -37,12 +37,26 @@ fn main() {
                             runner::tcp_cfg(&p, kind, v, false)
                         }
                     },
-                    |s| {
+                    move |s| {
                         let mut mp = p;
                         mp.seed = s;
-                        standard_mix(&cdf, mp)
+                        standard_mix(cdf, mp)
                     },
                 );
+            }
+        }
+    }
+    let mut results = plan.run().into_iter();
+
+    let mut rows = Vec::new();
+    for kind in KINDS {
+        runner::print_header(
+            &format!("Figure 18: incast degree sweep, {}", kind.name()),
+            &["fg p99 (ms)", "bg avg (ms)"],
+        );
+        for degree in DEGREES {
+            for tlt in [false, true] {
+                let r = results.next().expect("one result per scheme");
                 runner::print_row(&r.name, &[&r.fg_p99_ms, &r.bg_avg_ms]);
                 rows.push(vec![
                     kind.name().to_string(),

@@ -6,43 +6,58 @@
 //! 600 kB / 10% for DCTCP) — and TCP, which keeps deeper queues, loses
 //! slightly more.
 
+use bench::plan::RunPlan;
 use bench::runner::{self, Args, TcpVariant};
 use transport::TransportKind;
 use workload::{standard_mix, FlowSizeCdf};
 
+const KINDS: [TransportKind; 2] = [TransportKind::Dctcp, TransportKind::Tcp];
+const FG_SHARES: [f64; 2] = [0.05, 0.10];
+const KS: [u64; 3] = [400, 500, 600];
+
 fn main() {
     let args = Args::parse();
     let cdf = FlowSizeCdf::web_search();
-    let mut rows = Vec::new();
+    let cdf = &cdf;
 
+    let mut plan = RunPlan::new(&args);
+    for kind in KINDS {
+        for fg in FG_SHARES {
+            for k in KS {
+                let mut p = args.mix();
+                p.fg_fraction = fg;
+                plan.scheme(
+                    "",
+                    move |_s| {
+                        let mut cfg = runner::tcp_cfg(&p, kind, TcpVariant::Tlt, false);
+                        cfg.switch.color_threshold = Some(k * 1000);
+                        cfg
+                    },
+                    move |s| {
+                        let mut mp = p;
+                        mp.seed = s;
+                        standard_mix(cdf, mp)
+                    },
+                );
+            }
+        }
+    }
+    let mut results = plan.run().into_iter();
+
+    let mut rows = Vec::new();
     runner::print_header(
         "Table 1: important-packet loss rate",
         &["K=400kB", "K=500kB", "K=600kB"],
     );
-    for kind in [TransportKind::Dctcp, TransportKind::Tcp] {
-        for fg in [0.05, 0.10] {
+    for kind in KINDS {
+        for fg in FG_SHARES {
             let mut line = format!(
                 "{:<28}",
                 format!("{}+TLT fg={:.0}%", kind.name(), fg * 100.0)
             );
             let mut row = vec![kind.name().to_string(), format!("{fg:.2}")];
-            for k in [400u64, 500, 600] {
-                let mut p = args.mix();
-                p.fg_fraction = fg;
-                let r = runner::run_scheme(
-                    "",
-                    args.seeds,
-                    |_s| {
-                        let mut cfg = runner::tcp_cfg(&p, kind, TcpVariant::Tlt, false);
-                        cfg.switch.color_threshold = Some(k * 1000);
-                        cfg
-                    },
-                    |s| {
-                        let mut mp = p;
-                        mp.seed = s;
-                        standard_mix(&cdf, mp)
-                    },
-                );
+            for _ in KS {
+                let r = results.next().expect("one result per scheme");
                 line.push_str(&format!("{:>16.3e}", r.important_loss.mean()));
                 row.push(format!("{:.3e}", r.important_loss.mean()));
             }

@@ -2,16 +2,23 @@
 //!
 //! Each `fig*`/`tab*` binary reproduces one table or figure of the paper's
 //! evaluation (§7 and Appendix B); the shared [`runner`] module provides
-//! argument parsing (`--full`, `--quick`, `--seeds N`, `--out file.csv`),
-//! the scheme/variant builders, multi-seed execution, and paper-style table
-//! printing. DESIGN.md carries the experiment index; EXPERIMENTS.md records
-//! paper-vs-measured values.
+//! argument parsing (`--full`, `--quick`, `--seeds N`, `--jobs N`,
+//! `--out file.csv`), the scheme/variant builders, and paper-style table
+//! printing, while [`plan`] executes the (scheme, seed) grid across worker
+//! threads with a deterministic fold (output is byte-identical under any
+//! `--jobs` value). The [`baseline`] module is the `bench_baseline`
+//! binary's workload suite, which records the wall-clock/events-per-second
+//! trajectory in `BENCH_pr2.json`. DESIGN.md carries the experiment index;
+//! EXPERIMENTS.md records paper-vs-measured values.
 //!
 //! Run any experiment with, e.g.:
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig05_tcp_family
 //! cargo run --release -p bench --bin fig05_tcp_family -- --full --seeds 5
+//! cargo run --release -p bench --bin fig05_tcp_family -- --jobs 8
 //! ```
 
+pub mod baseline;
+pub mod plan;
 pub mod runner;

@@ -1,0 +1,283 @@
+//! Parallel execution of (scheme, seed) experiment grids.
+//!
+//! The paper's evaluation is a grid of *independent* simulations — scheme ×
+//! seed × scale — so the harness parallelizes at that granularity instead
+//! of inside the (inherently sequential) event loop. A [`RunPlan`]
+//! enumerates every (scheme, seed) job up front, executes them across
+//! `min(jobs, #jobs)` worker threads via `std::thread::scope`, and folds
+//! results back in **deterministic plan order**: per-scheme metrics are
+//! accumulated seed-by-seed in enumeration order and flight-recorder
+//! buffers are concatenated the same way, so the table, CSV, and trace
+//! output is byte-identical under any `--jobs` value.
+//!
+//! Work distribution is a single shared atomic cursor over the job list —
+//! no work stealing, no channels, no dependencies: workers claim the next
+//! index until the list is exhausted. Each job traces into its own
+//! [`telemetry::BufferSink`] (which is `Send`), so no lock is held while a
+//! simulation runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dcsim::{FlowSpec, SimConfig};
+use eventsim::SimTime;
+
+use crate::runner::{self, Args, MixOutcome, SchemeResult};
+
+/// One scheme of the grid: a label plus per-seed config/workload builders.
+struct SchemeSpec<'a> {
+    name: String,
+    seeds: u64,
+    make_cfg: Box<dyn Fn(u64) -> SimConfig + Sync + 'a>,
+    make_flows: Box<dyn Fn(u64) -> Vec<FlowSpec> + Sync + 'a>,
+}
+
+/// What one (scheme, seed) job hands back to the fold.
+struct JobOut {
+    outcome: MixOutcome,
+    trace: Option<Vec<u8>>,
+}
+
+/// Everything a finished plan knows beyond the per-scheme metrics.
+pub struct PlanOutput {
+    /// Per-scheme cross-seed results, in the order schemes were added.
+    pub results: Vec<SchemeResult>,
+    /// Concatenated flight-recorder bytes in plan order (empty when tracing
+    /// was off). When a global trace file is installed these bytes have
+    /// already been appended to it.
+    pub trace: Vec<u8>,
+    /// Simulator events scheduled, summed over every job.
+    pub events_scheduled: u64,
+    /// Number of (scheme, seed) jobs executed.
+    pub jobs_run: usize,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+/// A deterministic parallel experiment plan. See the module docs.
+pub struct RunPlan<'a> {
+    schemes: Vec<SchemeSpec<'a>>,
+    jobs: usize,
+    default_seeds: u64,
+    capture_trace: Option<Option<SimTime>>,
+}
+
+impl<'a> RunPlan<'a> {
+    /// A plan using the CLI's `--jobs` / `--seeds` settings.
+    pub fn new(args: &Args) -> RunPlan<'a> {
+        RunPlan::sized(args.effective_jobs(), args.seeds)
+    }
+
+    /// A plan with explicit worker and default-seed counts (tests,
+    /// benchmarks).
+    pub fn sized(jobs: usize, default_seeds: u64) -> RunPlan<'a> {
+        assert!(default_seeds >= 1, "a plan needs at least one seed");
+        RunPlan {
+            schemes: Vec::new(),
+            jobs: jobs.max(1),
+            default_seeds,
+            capture_trace: None,
+        }
+    }
+
+    /// Forces flight-recorder capture into the returned [`PlanOutput`] even
+    /// when no global trace file is installed (`sample_ns` as in
+    /// `--trace-sample-ns`). Used by determinism tests.
+    pub fn capture_trace(mut self, sample_ns: Option<u64>) -> RunPlan<'a> {
+        self.capture_trace = Some(sample_ns.map(SimTime::from_ns));
+        self
+    }
+
+    /// Adds a scheme over the default seed range. Returns its index into
+    /// [`RunPlan::run`]'s result vector (schemes come back in insertion
+    /// order).
+    pub fn scheme(
+        &mut self,
+        name: impl Into<String>,
+        make_cfg: impl Fn(u64) -> SimConfig + Sync + 'a,
+        make_flows: impl Fn(u64) -> Vec<FlowSpec> + Sync + 'a,
+    ) -> usize {
+        let seeds = self.default_seeds;
+        self.scheme_seeds(name, seeds, make_cfg, make_flows)
+    }
+
+    /// Adds a scheme with an explicit seed count (some tables average a
+    /// different number of runs than the rest of their binary).
+    pub fn scheme_seeds(
+        &mut self,
+        name: impl Into<String>,
+        seeds: u64,
+        make_cfg: impl Fn(u64) -> SimConfig + Sync + 'a,
+        make_flows: impl Fn(u64) -> Vec<FlowSpec> + Sync + 'a,
+    ) -> usize {
+        assert!(seeds >= 1, "a scheme needs at least one seed");
+        self.schemes.push(SchemeSpec {
+            name: name.into(),
+            seeds,
+            make_cfg: Box::new(make_cfg),
+            make_flows: Box::new(make_flows),
+        });
+        self.schemes.len() - 1
+    }
+
+    /// Number of schemes added so far.
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Whether no schemes were added.
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// Executes the grid and returns per-scheme results in insertion order.
+    pub fn run(self) -> Vec<SchemeResult> {
+        self.run_detailed().results
+    }
+
+    /// Executes the grid and returns results plus trace bytes and work
+    /// accounting.
+    pub fn run_detailed(self) -> PlanOutput {
+        // Tracing: the globally installed `--trace` file wins; a forced
+        // capture (tests) applies when no file is installed.
+        let global = runner::trace_config();
+        let (trace_on, sample_every) = match (global, self.capture_trace) {
+            (Some(sample), _) => (true, sample),
+            (None, Some(sample)) => (true, sample),
+            (None, None) => (false, None),
+        };
+
+        let jobs: Vec<(usize, u64)> = self
+            .schemes
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| (1..=s.seeds).map(move |seed| (i, seed)))
+            .collect();
+        let workers = self.jobs.min(jobs.len()).max(1);
+
+        let run_job = |&(si, seed): &(usize, u64)| -> JobOut {
+            let spec = &self.schemes[si];
+            let cfg = (spec.make_cfg)(seed).with_seed(seed);
+            let flows = (spec.make_flows)(seed);
+            let (res, trace) = runner::buffered_run(&spec.name, cfg, flows, trace_on, sample_every);
+            JobOut {
+                outcome: MixOutcome::from_result(res),
+                trace,
+            }
+        };
+
+        // One slot per job; workers fill slots, the fold below reads them
+        // in plan order so the output is independent of completion order.
+        let slots: Vec<Mutex<Option<JobOut>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        if workers == 1 {
+            for (slot, job) in slots.iter().zip(&jobs) {
+                *slot.lock().unwrap() = Some(run_job(job));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(idx) else { break };
+                        let out = run_job(job);
+                        *slots[idx].lock().unwrap() = Some(out);
+                    });
+                }
+            });
+        }
+
+        // Deterministic fold: seed order within a scheme, scheme order
+        // across the plan, trace buffers concatenated likewise.
+        let mut results: Vec<SchemeResult> = self
+            .schemes
+            .iter()
+            .map(|s| SchemeResult {
+                name: s.name.clone(),
+                ..SchemeResult::default()
+            })
+            .collect();
+        let mut trace = Vec::new();
+        let mut events_scheduled = 0u64;
+        for (slot, &(si, _seed)) in slots.iter().zip(&jobs) {
+            let out = slot.lock().unwrap().take().expect("every job completed");
+            events_scheduled += out.outcome.agg.events_scheduled;
+            results[si].add(&out.outcome);
+            if let Some(b) = &out.trace {
+                trace.extend_from_slice(b);
+            }
+        }
+        if global.is_some() {
+            runner::append_trace(&trace);
+        }
+        PlanOutput {
+            results,
+            trace,
+            events_scheduled,
+            jobs_run: jobs.len(),
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcsim::small_single_switch;
+    use transport::TransportKind;
+
+    fn tiny_plan(jobs: usize) -> RunPlan<'static> {
+        let mut plan = RunPlan::sized(jobs, 2);
+        for (name, tlt) in [("base", false), ("tlt", true)] {
+            plan.scheme(
+                name,
+                move |_s| {
+                    let p = workload::MixParams::reduced(1);
+                    let cfg = crate::runner::tcp_cfg(
+                        &p,
+                        TransportKind::Dctcp,
+                        if tlt {
+                            crate::runner::TcpVariant::Tlt
+                        } else {
+                            crate::runner::TcpVariant::Baseline
+                        },
+                        false,
+                    );
+                    cfg.with_topology(small_single_switch(9))
+                },
+                |s| workload::incast_burst(16, 8, 8_000, s),
+            );
+        }
+        plan
+    }
+
+    #[test]
+    fn parallel_fold_matches_sequential() {
+        let seq = tiny_plan(1).run_detailed();
+        let par = tiny_plan(4).run_detailed();
+        assert_eq!(seq.jobs_run, 4);
+        assert_eq!(par.jobs_run, 4);
+        assert_eq!(seq.events_scheduled, par.events_scheduled);
+        assert!(seq.events_scheduled > 0);
+        for (a, b) in seq.results.iter().zip(&par.results) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.fg_p99_ms.values(), b.fg_p99_ms.values());
+            assert_eq!(a.timeouts_per_1k.values(), b.timeouts_per_1k.values());
+            assert_eq!(a.events_scheduled, b.events_scheduled);
+        }
+    }
+
+    #[test]
+    fn captured_traces_are_identical_across_jobs() {
+        let seq = tiny_plan(1).capture_trace(None).run_detailed();
+        let par = tiny_plan(3).capture_trace(None).run_detailed();
+        assert!(!seq.trace.is_empty());
+        assert_eq!(seq.trace, par.trace, "trace bytes differ under --jobs");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_rejected() {
+        let _ = RunPlan::sized(1, 0);
+    }
+}

@@ -1,19 +1,25 @@
 //! Shared experiment plumbing: CLI arguments, scheme variants, multi-seed
 //! execution, flight-recorder wiring, and table printing.
+//!
+//! Simulations run through [`crate::plan::RunPlan`], which executes the
+//! (scheme, seed) grid across worker threads and folds results back in
+//! deterministic plan order — the table, CSV, and trace output is
+//! byte-identical under any `--jobs` value.
 
-use std::cell::RefCell;
 use std::fs::File;
-use std::io::BufWriter;
-use std::rc::Rc;
+use std::io::{BufWriter, Write as _};
+use std::sync::Mutex;
 
 use dcsim::{Engine, FlowSpec, SimConfig, SimResult};
 use eventsim::SimTime;
 use netsim::topology::TopologySpec;
 use netsim::LinkSpec;
 use netstats::{summarize_flows, FctSummary, Metric};
-use telemetry::{JsonlSink, TraceEvent, Tracer};
+use telemetry::{BufferSink, TraceEvent, Tracer};
 use transport::{RtoMode, TransportKind};
 use workload::MixParams;
+
+use crate::plan::RunPlan;
 
 /// Command-line options common to every experiment binary.
 #[derive(Clone, Debug)]
@@ -22,8 +28,11 @@ pub struct Args {
     pub full: bool,
     /// Smallest credible scale, for smoke runs.
     pub quick: bool,
-    /// Number of seeds to average over.
+    /// Number of seeds to average over (≥ 1).
     pub seeds: u64,
+    /// Worker threads for the (scheme, seed) grid; `None` means one per
+    /// available core.
+    pub jobs: Option<usize>,
     /// Optional CSV output path.
     pub out: Option<String>,
     /// Optional flight-recorder JSONL output path.
@@ -32,56 +41,79 @@ pub struct Args {
     pub trace_sample_ns: Option<u64>,
 }
 
-impl Args {
-    /// Parses `std::env::args()`. Unknown flags abort with usage help.
-    ///
-    /// When `--trace` is given, every simulation the binary subsequently
-    /// runs through [`run_scheme`] / [`traced_run`] appends its events to
-    /// the named JSONL file (created fresh at startup).
-    pub fn parse() -> Args {
-        let mut args = Args {
+impl Default for Args {
+    fn default() -> Args {
+        Args {
             full: false,
             quick: false,
             seeds: 3,
+            jobs: None,
             out: None,
             trace: None,
             trace_sample_ns: None,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`. Invalid or unknown flags abort with usage
+    /// help.
+    ///
+    /// When `--trace` is given, every simulation the binary subsequently
+    /// runs through [`run_scheme`] / [`traced_run`] / a
+    /// [`RunPlan`] appends its events to the named JSONL file
+    /// (created fresh at startup).
+    pub fn parse() -> Args {
+        let args = match Args::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => usage(&msg),
         };
-        let mut it = std::env::args().skip(1);
+        if let Some(path) = &args.trace {
+            init_trace(path, args.trace_sample_ns);
+        }
+        args
+    }
+
+    /// Parses an explicit argument list (no I/O, no process exit), so the
+    /// validation rules are unit-testable.
+    ///
+    /// Rejected with an error: `--seeds 0` (the seed loop `1..=0` would run
+    /// nothing and print all-zero tables), `--trace-sample-ns 0` (a
+    /// zero-period sampler would loop forever), and `--jobs 0`.
+    pub fn parse_from<I>(iter: I) -> Result<Args, String>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut it = iter.into_iter().map(Into::into);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--full" => args.full = true,
                 "--quick" => args.quick = true,
                 "--seeds" => {
-                    args.seeds = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--seeds needs a number"));
+                    args.seeds = parse_positive(it.next(), "--seeds")?;
+                }
+                "--jobs" => {
+                    args.jobs = Some(parse_positive(it.next(), "--jobs")? as usize);
                 }
                 "--out" => {
-                    args.out = Some(it.next().unwrap_or_else(|| usage("--out needs a path")));
+                    args.out = Some(it.next().ok_or("--out needs a path")?);
                 }
                 "--trace" => {
-                    args.trace = Some(it.next().unwrap_or_else(|| usage("--trace needs a path")));
+                    args.trace = Some(it.next().ok_or("--trace needs a path")?);
                 }
                 "--trace-sample-ns" => {
-                    args.trace_sample_ns = Some(
-                        it.next()
-                            .and_then(|v| v.parse().ok())
-                            .unwrap_or_else(|| usage("--trace-sample-ns needs a number")),
-                    );
+                    args.trace_sample_ns = Some(parse_positive(it.next(), "--trace-sample-ns")?);
                 }
-                "--help" | "-h" => usage(""),
-                other => usage(&format!("unknown flag {other}")),
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown flag {other}")),
             }
         }
         if args.quick {
             args.seeds = args.seeds.min(1);
         }
-        if let Some(path) = &args.trace {
-            init_trace(path, args.trace_sample_ns);
-        }
-        args
+        Ok(args)
     }
 
     /// The standard-mix parameters for this scale.
@@ -94,6 +126,26 @@ impl Args {
             MixParams::reduced(400)
         }
     }
+
+    /// The worker-thread count to use: `--jobs N`, or every available core.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+}
+
+/// Parses a flag value that must be a strictly positive integer.
+fn parse_positive(v: Option<String>, flag: &str) -> Result<u64, String> {
+    let n: u64 = v
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("{flag} needs a number"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be >= 1"));
+    }
+    Ok(n)
 }
 
 fn usage(msg: &str) -> ! {
@@ -101,59 +153,84 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <experiment> [--full] [--quick] [--seeds N] [--out file.csv] \
+        "usage: <experiment> [--full] [--quick] [--seeds N] [--jobs N] [--out file.csv] \
          [--trace file.jsonl] [--trace-sample-ns N]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
 
-/// Process-wide flight-recorder state installed by [`init_trace`].
+/// Process-wide flight-recorder output installed by [`init_trace`].
+///
+/// Simulations never write here directly: each run records into a private
+/// [`BufferSink`] (which is `Send`, so runs may execute on worker threads)
+/// and the encoded bytes are appended under this lock afterwards — by
+/// [`traced_run`] immediately for sequential callers, and by
+/// [`RunPlan`] in deterministic plan order for parallel grids.
 struct TraceState {
-    sink: Rc<RefCell<JsonlSink<BufWriter<File>>>>,
+    out: BufWriter<File>,
     sample_every: Option<SimTime>,
 }
 
-thread_local! {
-    static TRACE: RefCell<Option<TraceState>> = const { RefCell::new(None) };
-}
+static TRACE: Mutex<Option<TraceState>> = Mutex::new(None);
 
 /// Opens (truncating) the JSONL flight-recorder file at `path` and routes
-/// every subsequent [`traced_run`] / [`run_scheme`] simulation through it.
-/// `sample_ns`, when set, enables per-port `port_sample` telemetry at that
-/// period for configs that do not already request their own.
+/// every subsequent [`traced_run`] / [`run_scheme`] / [`RunPlan`]
+/// simulation through it. `sample_ns`, when set, enables per-port
+/// `port_sample` telemetry at that period for configs that do not already
+/// request their own.
 ///
 /// [`Args::parse`] calls this when `--trace` is present; experiments with
 /// bespoke main loops may also call it directly.
 pub fn init_trace(path: &str, sample_ns: Option<u64>) {
     let file = File::create(path)
         .unwrap_or_else(|e| usage(&format!("cannot create trace file {path}: {e}")));
-    let sink = Rc::new(RefCell::new(JsonlSink::new(BufWriter::new(file))));
-    TRACE.with(|t| {
-        *t.borrow_mut() = Some(TraceState {
-            sink,
-            sample_every: sample_ns.map(SimTime::from_ns),
-        });
+    *TRACE.lock().unwrap() = Some(TraceState {
+        out: BufWriter::new(file),
+        sample_every: sample_ns.map(SimTime::from_ns),
     });
 }
 
-/// Runs one simulation, recording it to the flight recorder when one is
-/// installed ([`init_trace`]). Each run is bracketed by `run_start` (with
-/// `label` and the config's seed) and `run_end` (with the producer's own
-/// aggregate totals), making the trace self-verifying for `trace_inspect`.
-pub fn traced_run(label: &str, mut cfg: SimConfig, flows: Vec<FlowSpec>) -> SimResult {
-    let state = TRACE.with(|t| {
-        t.borrow()
-            .as_ref()
-            .map(|s| (s.sink.clone(), s.sample_every))
-    });
-    let Some((sink, sample_every)) = state else {
-        return Engine::new(cfg, flows).run();
-    };
+/// The installed flight recorder's sampling period: `None` when tracing is
+/// off, `Some(sample_every)` when on.
+pub(crate) fn trace_config() -> Option<Option<SimTime>> {
+    TRACE.lock().unwrap().as_ref().map(|s| s.sample_every)
+}
+
+/// Appends one run's (or one plan's) encoded trace bytes to the installed
+/// flight-recorder file. No-op when tracing is off or `bytes` is empty.
+pub(crate) fn append_trace(bytes: &[u8]) {
+    if bytes.is_empty() {
+        return;
+    }
+    if let Some(state) = TRACE.lock().unwrap().as_mut() {
+        state.out.write_all(bytes).expect("write trace file");
+        state.out.flush().expect("flush trace file");
+    }
+}
+
+/// Runs one simulation, recording it into a private buffer when `trace` is
+/// on. Each traced run is bracketed by `run_start` (with `label` and the
+/// config's seed) and `run_end` (with the producer's own aggregate totals),
+/// making the trace self-verifying for `trace_inspect`.
+///
+/// This is the thread-agnostic core: it touches no global state, so
+/// [`RunPlan`] workers call it concurrently and merge the returned
+/// buffers in plan order.
+pub(crate) fn buffered_run(
+    label: &str,
+    mut cfg: SimConfig,
+    flows: Vec<FlowSpec>,
+    trace: bool,
+    sample_every: Option<SimTime>,
+) -> (SimResult, Option<Vec<u8>>) {
+    if !trace {
+        return (Engine::new(cfg, flows).run(), None);
+    }
     if cfg.trace_sample_every.is_none() {
         cfg.trace_sample_every = sample_every;
     }
     let seed = cfg.seed;
-    let tracer = Tracer::from_shared(sink);
+    let (tracer, sink) = Tracer::new(BufferSink::new());
     tracer.emit(SimTime::ZERO, || TraceEvent::RunStart {
         label: label.to_string(),
         seed,
@@ -169,7 +246,26 @@ pub fn traced_run(label: &str, mut cfg: SimConfig, flows: Vec<FlowSpec>) -> SimR
         pause_frames: res.agg.pause_frames,
         timeouts: res.agg.timeouts,
     });
-    tracer.flush();
+    let bytes = sink.borrow_mut().take_bytes();
+    (res, Some(bytes))
+}
+
+/// Runs one simulation, recording it to the flight recorder when one is
+/// installed ([`init_trace`]), and appends its events to the trace file
+/// immediately. Sequential convenience for bespoke experiment loops; grids
+/// should go through a [`RunPlan`].
+pub fn traced_run(label: &str, cfg: SimConfig, flows: Vec<FlowSpec>) -> SimResult {
+    let sample_every = trace_config();
+    let (res, bytes) = buffered_run(
+        label,
+        cfg,
+        flows,
+        sample_every.is_some(),
+        sample_every.flatten(),
+    );
+    if let Some(b) = bytes {
+        append_trace(&b);
+    }
     res
 }
 
@@ -264,15 +360,21 @@ pub struct MixOutcome {
     pub agg: dcsim::AggregateStats,
 }
 
+impl MixOutcome {
+    /// Summarizes a raw simulation result.
+    pub fn from_result(res: SimResult) -> MixOutcome {
+        MixOutcome {
+            fg: summarize_flows(res.flows.iter(), |f| f.fg),
+            bg: summarize_flows(res.flows.iter(), |f| !f.fg),
+            agg: res.agg,
+        }
+    }
+}
+
 /// Runs one simulation (through the flight recorder when installed) and
 /// summarizes it.
 pub fn run_once(label: &str, cfg: SimConfig, flows: Vec<FlowSpec>) -> MixOutcome {
-    let res = traced_run(label, cfg, flows);
-    MixOutcome {
-        fg: summarize_flows(res.flows.iter(), |f| f.fg),
-        bg: summarize_flows(res.flows.iter(), |f| !f.fg),
-        agg: res.agg,
-    }
+    MixOutcome::from_result(traced_run(label, cfg, flows))
 }
 
 /// Cross-seed metrics of one scheme (one bar/line of a figure).
@@ -304,6 +406,9 @@ pub struct SchemeResult {
     pub max_queue_kb: Metric,
     /// Median of the sampled deepest-queue series (kB).
     pub median_queue_kb: Metric,
+    /// Simulator events scheduled, summed over this scheme's seeds (work
+    /// accounting for events/sec reporting).
+    pub events_scheduled: u64,
 }
 
 impl SchemeResult {
@@ -325,25 +430,25 @@ impl SchemeResult {
         self.max_queue_kb.add(o.agg.max_queue_bytes as f64 / 1e3);
         let mut qs = o.agg.queue_samples.clone();
         self.median_queue_kb.add(qs.percentile(50.0) / 1e3);
+        self.events_scheduled += o.agg.events_scheduled;
     }
 }
 
-/// Runs `scheme` over `seeds` seeds of the standard mix and aggregates.
+/// Runs `scheme` over the standard seed range and aggregates, using up to
+/// `args.effective_jobs()` worker threads across the seeds.
+///
+/// Single-scheme convenience over [`RunPlan`]; binaries with a grid
+/// of schemes should enqueue them all on one plan so scheme × seed jobs
+/// share the worker pool.
 pub fn run_scheme(
     name: impl Into<String>,
-    seeds: u64,
-    make_cfg: impl Fn(u64) -> SimConfig,
-    make_flows: impl Fn(u64) -> Vec<FlowSpec>,
+    args: &Args,
+    make_cfg: impl Fn(u64) -> SimConfig + Sync,
+    make_flows: impl Fn(u64) -> Vec<FlowSpec> + Sync,
 ) -> SchemeResult {
-    let mut r = SchemeResult {
-        name: name.into(),
-        ..SchemeResult::default()
-    };
-    for seed in 1..=seeds {
-        let o = run_once(&r.name, make_cfg(seed).with_seed(seed), make_flows(seed));
-        r.add(&o);
-    }
-    r
+    let mut plan = RunPlan::new(args);
+    plan.scheme(name, make_cfg, make_flows);
+    plan.run().pop().expect("one scheme")
 }
 
 /// Prints a header line for a paper-style table.
@@ -370,5 +475,73 @@ pub fn maybe_csv(args: &Args, headers: &[&str], rows: &[Vec<String>]) {
     if let Some(path) = &args.out {
         netstats::write_csv(path, headers, rows).expect("write csv");
         eprintln!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse_from(args.iter().copied())
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let a = parse(&[]).unwrap();
+        assert!(!a.full && !a.quick);
+        assert_eq!(a.seeds, 3);
+        assert_eq!(a.jobs, None);
+        assert!(a.effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let a = parse(&[
+            "--full",
+            "--seeds",
+            "5",
+            "--jobs",
+            "2",
+            "--out",
+            "x.csv",
+            "--trace",
+            "t.jsonl",
+            "--trace-sample-ns",
+            "1000",
+        ])
+        .unwrap();
+        assert!(a.full);
+        assert_eq!(a.seeds, 5);
+        assert_eq!(a.jobs, Some(2));
+        assert_eq!(a.effective_jobs(), 2);
+        assert_eq!(a.out.as_deref(), Some("x.csv"));
+        assert_eq!(a.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.trace_sample_ns, Some(1000));
+    }
+
+    /// Regression: `--seeds 0` used to be accepted, making the `1..=0`
+    /// seed loop run nothing and print all-zero tables with no warning.
+    #[test]
+    fn parse_rejects_zero_values() {
+        assert!(parse(&["--seeds", "0"]).unwrap_err().contains("--seeds"));
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("--jobs"));
+        assert!(parse(&["--trace-sample-ns", "0"])
+            .unwrap_err()
+            .contains("--trace-sample-ns"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&["--seeds", "abc"]).is_err());
+        assert!(parse(&["--seeds"]).is_err());
+        assert!(parse(&["--wat"]).unwrap_err().contains("--wat"));
+        assert!(parse(&["--out"]).is_err());
+    }
+
+    #[test]
+    fn quick_caps_seeds() {
+        let a = parse(&["--quick", "--seeds", "5"]).unwrap();
+        assert_eq!(a.seeds, 1);
     }
 }

@@ -70,6 +70,9 @@ pub struct AggregateStats {
     pub wire_drops: u64,
     /// Wall time the simulation covered.
     pub duration: SimTime,
+    /// Total simulator events scheduled (the engine's unit of work, for
+    /// events/sec throughput reporting).
+    pub events_scheduled: u64,
 }
 
 impl AggregateStats {
@@ -469,6 +472,7 @@ impl Engine {
 
         let mut agg = AggregateStats {
             duration: end,
+            events_scheduled: self.queue.scheduled_total(),
             wire_drops: self.wire.drops,
             queue_samples,
             link_pause_fraction: if pause_fracs.is_empty() {
@@ -788,6 +792,7 @@ mod tests {
         assert!(fct < SimTime::from_ms(3), "fct {fct}");
         assert_eq!(res.agg.timeouts, 0);
         assert_eq!(res.agg.drops_dt, 0);
+        assert!(res.agg.events_scheduled > 0, "work accounting populated");
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl Samples {
 
     fn sorted(&mut self) -> &[f64] {
         if self.dirty {
-            self.v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            // `push` rejects NaN, so `total_cmp` agrees with the partial
+            // order and an unstable sort is safe (duplicates are
+            // indistinguishable f64 values).
+            debug_assert!(self.v.iter().all(|x| !x.is_nan()), "NaN in samples");
+            self.v.sort_unstable_by(f64::total_cmp);
             self.dirty = false;
         }
         &self.v
@@ -91,18 +95,14 @@ impl Samples {
         }
     }
 
-    /// Maximum (0.0 when empty).
+    /// Maximum (0.0 when empty, like the other accessors).
     pub fn max(&self) -> f64 {
-        self.v.iter().copied().fold(f64::MIN, f64::max).max(0.0)
+        self.v.iter().copied().reduce(f64::max).unwrap_or(0.0)
     }
 
     /// Minimum (0.0 when empty).
     pub fn min(&self) -> f64 {
-        if self.v.is_empty() {
-            0.0
-        } else {
-            self.v.iter().copied().fold(f64::MAX, f64::min)
-        }
+        self.v.iter().copied().reduce(f64::min).unwrap_or(0.0)
     }
 
     /// Sample standard deviation (0.0 for fewer than two observations).
@@ -190,6 +190,18 @@ mod tests {
             assert!(w[1].0 >= w[0].0);
             assert!(w[1].1 > w[0].1);
         }
+    }
+
+    /// Regression: `max` used to fold from `f64::MIN` and clamp with
+    /// `.max(0.0)`, silently reporting 0.0 for all-negative sample sets.
+    #[test]
+    fn max_and_min_of_negative_samples() {
+        let s = Samples::from_values(vec![-5.0, -2.5, -9.0]);
+        assert_eq!(s.max(), -2.5);
+        assert_eq!(s.min(), -9.0);
+        let one = Samples::from_values(vec![-0.25]);
+        assert_eq!(one.max(), -0.25);
+        assert_eq!(one.min(), -0.25);
     }
 
     #[test]

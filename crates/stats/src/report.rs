@@ -39,6 +39,13 @@ impl Metric {
         self.values.len()
     }
 
+    /// The raw per-seed measurements, in insertion order. Exact equality of
+    /// two metrics (e.g. parallel vs sequential execution) is defined by
+    /// this sequence.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Mean across seeds (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.values.is_empty() {

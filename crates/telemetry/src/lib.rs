@@ -8,6 +8,8 @@
 //! - [`RingSink`]: bounded in-memory ring of the most recent events,
 //! - [`CountingSink`]: per-switch and global aggregation (no event storage),
 //! - [`JsonlSink`]: hand-rolled JSON-lines file/byte output (no serde),
+//! - [`BufferSink`]: in-memory JSONL buffer that is `Send`, so parallel
+//!   workers can trace privately and hand bytes back for an ordered merge,
 //! - [`SeriesSink`]: per-port time series of queue depth, pause state, and
 //!   cumulative drops, built from periodic `PortSample` events,
 //! - [`FanoutSink`]: duplicates events into several sinks.
@@ -51,5 +53,7 @@ mod tracer;
 
 pub use event::{DropWhy, TimerId, TraceEvent};
 pub use series::{PortKey, SeriesPoint, SeriesSink};
-pub use sink::{CountingSink, FanoutSink, JsonlSink, NodeCounts, RingSink, TraceCounts, TraceSink};
+pub use sink::{
+    BufferSink, CountingSink, FanoutSink, JsonlSink, NodeCounts, RingSink, TraceCounts, TraceSink,
+};
 pub use tracer::Tracer;
