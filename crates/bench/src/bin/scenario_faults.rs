@@ -1,0 +1,229 @@
+//! Recovery under injected failures: link flaps, bursty corruption, and
+//! PFC pause storms, across the five transport schemes with and without
+//! TLT.
+//!
+//! The paper's §5 draws a sharp boundary: TLT eliminates *congestion*
+//! timeouts but deliberately does not recover *non-congestion* losses
+//! (flaps, corruption), which fall back to the transport. This scenario
+//! suite makes that boundary measurable: a synchronized incast supplies
+//! the congestion-timeout regime while a fault schedule injects the
+//! non-congestion failure, and the table reports how each scheme recovered
+//! (RTO count, fast retransmissions, down-link drops, post-fault recovery
+//! time, and foreground tail FCT).
+//!
+//! Scenarios (single switch, 49 incast senders + 1 bulk sender):
+//! - `flap`: the bulk sender's NIC link drops for 5 μs (well under the
+//!   40 μs base RTT) mid-transfer — short enough that the hole it punches
+//!   in the stream is filled by fast retransmit, never an RTO.
+//! - `burst`: Gilbert–Elliott bursty corruption on the switch→receiver
+//!   downlink — multi-frame loss episodes that hit flow tails.
+//! - `storm`: a spurious 200 μs PFC pause storm against the bulk sender's
+//!   switch ingress.
+
+use bench::plan::RunPlan;
+use bench::runner::{self, Args};
+use dcsim::{small_single_switch, FlowSpec, SimConfig};
+use eventsim::SimTime;
+use faults::FaultSchedule;
+use netsim::switch::EcnConfig;
+use transport::TransportKind;
+
+/// Incast fan-in degree (hosts 1..=SENDERS each send two 8 kB flows).
+const SENDERS: usize = 48;
+/// The bulk background sender's host index.
+const BULK: usize = SENDERS + 1;
+/// Total hosts: receiver + incast senders + bulk sender.
+const HOSTS: usize = SENDERS + 2;
+
+/// The five transport schemes of the paper's evaluation.
+pub const KINDS: [(&str, TransportKind); 5] = [
+    ("tcp", TransportKind::Tcp),
+    ("dctcp", TransportKind::Dctcp),
+    ("hpcc", TransportKind::Hpcc),
+    ("dcqcn-gbn", TransportKind::DcqcnGbn),
+    ("dcqcn-irn", TransportKind::DcqcnIrn),
+];
+
+/// The failure scenarios. Node numbering in `small_single_switch`: the
+/// switch is node 0 and host index `k` is node `k + 1`; switch port `k`
+/// faces host `k`.
+pub fn scenarios() -> Vec<(&'static str, FaultSchedule)> {
+    vec![
+        (
+            "flap",
+            FaultSchedule::new().link_flap(
+                SimTime::from_us(400),
+                BULK as u32 + 1,
+                0,
+                SimTime::from_us(5),
+            ),
+        ),
+        (
+            "burst",
+            FaultSchedule::new().burst_loss(SimTime::ZERO, 0, 0, 0.002, 8.0, 0.5),
+        ),
+        (
+            "storm",
+            FaultSchedule::new().pause_storm(
+                SimTime::from_us(200),
+                0,
+                BULK as u32,
+                SimTime::from_us(200),
+            ),
+        ),
+    ]
+}
+
+/// The incast recipe of the engine's timeout-regime test: a 800 kB shared
+/// buffer that 96 synchronized 8 kB flows overflow, so baseline transports
+/// take RTOs and TLT does not.
+pub fn scenario_cfg(kind: TransportKind, tlt: bool, faults: FaultSchedule) -> SimConfig {
+    let mut cfg = if kind.is_roce() {
+        SimConfig::roce_family(kind)
+    } else {
+        SimConfig::tcp_family(kind)
+    };
+    cfg = cfg.with_topology(small_single_switch(HOSTS));
+    cfg.switch.buffer_bytes = 800_000;
+    if kind == TransportKind::Dctcp {
+        cfg.switch.ecn = EcnConfig::Threshold { k: 100_000 };
+    }
+    if tlt {
+        cfg = cfg.with_tlt();
+        cfg.switch.color_threshold = Some(150_000);
+    }
+    cfg.with_faults(faults)
+}
+
+/// Synchronized incast (two 8 kB foreground flows per sender) plus one
+/// 2 MB bulk background flow — the traffic every scenario runs.
+pub fn scenario_flows() -> Vec<FlowSpec> {
+    let mut v: Vec<FlowSpec> = (1..=SENDERS)
+        .flat_map(|s| {
+            [
+                FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true),
+                FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true),
+            ]
+        })
+        .collect();
+    v.push(FlowSpec::new(BULK, 0, 2_000_000, SimTime::ZERO, false));
+    v
+}
+
+fn main() {
+    let args = Args::parse();
+
+    let mut plan = RunPlan::new(&args);
+    let mut layout = Vec::new(); // (scenario, scheme-label) in plan order
+    for (scenario, faults) in scenarios() {
+        for (tname, kind) in KINDS {
+            for tlt in [false, true] {
+                let label = format!("{scenario}/{tname}{}", if tlt { "+tlt" } else { "" });
+                layout.push((scenario, label.clone()));
+                let faults = faults.clone();
+                plan.scheme(
+                    label,
+                    move |_s| scenario_cfg(kind, tlt, faults.clone()),
+                    |_s| scenario_flows(),
+                );
+            }
+        }
+    }
+    let results = plan.run();
+
+    let mut rows = Vec::new();
+    let mut shown = "";
+    for ((scenario, _), r) in layout.iter().zip(&results) {
+        if *scenario != shown {
+            shown = scenario;
+            runner::print_header(
+                &format!("Recovery under failure: {scenario}"),
+                &[
+                    "RTO",
+                    "fast-rtx",
+                    "down-drop",
+                    "wire-drop",
+                    "recov ms",
+                    "fg p99 ms",
+                    "fg p999 ms",
+                ],
+            );
+        }
+        runner::print_row(
+            &r.name,
+            &[
+                &r.timeouts_total,
+                &r.fast_retx_total,
+                &r.down_drops,
+                &r.wire_drops,
+                &r.recovery_ms,
+                &r.fg_p99_ms,
+                &r.fg_p999_ms,
+            ],
+        );
+        rows.push(vec![
+            scenario.to_string(),
+            r.name.clone(),
+            format!("{:.1}", r.timeouts_total.mean()),
+            format!("{:.1}", r.fast_retx_total.mean()),
+            format!("{:.1}", r.down_drops.mean()),
+            format!("{:.1}", r.wire_drops.mean()),
+            format!("{:.4}", r.recovery_ms.mean()),
+            format!("{:.4}", r.fg_p99_ms.mean()),
+            format!("{:.4}", r.fg_p999_ms.mean()),
+        ]);
+    }
+    runner::maybe_csv(
+        &args,
+        &[
+            "scenario",
+            "scheme",
+            "rto",
+            "fast_retx",
+            "down_drops",
+            "wire_drops",
+            "recovery_ms",
+            "fg_p99_ms",
+            "fg_p999_ms",
+        ],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcsim::Engine;
+
+    /// The headline acceptance check: in the link-flap scenario, TLT-enabled
+    /// TCP completes with zero RTO-driven retransmissions while baseline TCP
+    /// records timeouts — the flap is recovered by fast retransmit, the
+    /// congestion timeouts by TLT.
+    #[test]
+    fn flap_scenario_tlt_tcp_has_zero_rtos_baseline_does_not() {
+        let faults = scenarios()
+            .into_iter()
+            .find(|(n, _)| *n == "flap")
+            .unwrap()
+            .1;
+        let run = |tlt: bool| {
+            let cfg = scenario_cfg(TransportKind::Tcp, tlt, faults.clone());
+            Engine::new(cfg, scenario_flows()).run()
+        };
+        let base = run(false);
+        let tlt = run(true);
+        assert!(
+            base.agg.timeouts > 0,
+            "baseline TCP should take congestion timeouts in the incast"
+        );
+        assert_eq!(tlt.agg.timeouts, 0, "TLT TCP must not take a single RTO");
+        assert!(
+            tlt.agg.down_drops > 0,
+            "the flap actually destroyed frames under TLT too"
+        );
+        assert!(
+            tlt.flows.iter().all(|f| f.end.is_some()),
+            "every TLT flow completes despite the flap"
+        );
+    }
+}

@@ -243,6 +243,7 @@ pub(crate) fn buffered_run(
         drops_dt: res.agg.drops_dt,
         drops_overflow: res.agg.drops_overflow,
         wire_drops: res.agg.wire_drops,
+        down_drops: res.agg.down_drops,
         pause_frames: res.agg.pause_frames,
         timeouts: res.agg.timeouts,
     });
@@ -406,6 +407,17 @@ pub struct SchemeResult {
     pub max_queue_kb: Metric,
     /// Median of the sampled deepest-queue series (kB).
     pub median_queue_kb: Metric,
+    /// Raw RTO count summed over all flows (recovery tables).
+    pub timeouts_total: Metric,
+    /// Raw fast-retransmission count summed over all flows.
+    pub fast_retx_total: Metric,
+    /// Frames destroyed on downed links (plus reroute-orphaned frames).
+    pub down_drops: Metric,
+    /// Frames lost to injected wire corruption.
+    pub wire_drops: Metric,
+    /// Time from the first injected fault to the end of the run (ms);
+    /// zero when the run had no faults.
+    pub recovery_ms: Metric,
     /// Simulator events scheduled, summed over this scheme's seeds (work
     /// accounting for events/sec reporting).
     pub events_scheduled: u64,
@@ -430,6 +442,15 @@ impl SchemeResult {
         self.max_queue_kb.add(o.agg.max_queue_bytes as f64 / 1e3);
         let mut qs = o.agg.queue_samples.clone();
         self.median_queue_kb.add(qs.percentile(50.0) / 1e3);
+        self.timeouts_total.add(o.agg.timeouts as f64);
+        self.fast_retx_total.add(o.agg.fast_retx as f64);
+        self.down_drops.add(o.agg.down_drops as f64);
+        self.wire_drops.add(o.agg.wire_drops as f64);
+        self.recovery_ms.add(if o.agg.faults_injected > 0 {
+            (o.agg.duration - o.agg.first_fault_at).as_secs_f64() * 1e3
+        } else {
+            0.0
+        });
         self.events_scheduled += o.agg.events_scheduled;
     }
 }

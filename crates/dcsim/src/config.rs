@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use eventsim::SimTime;
+use faults::FaultSchedule;
 use netsim::switch::EcnConfig;
 use netsim::topology::TopologySpec;
 use netsim::LinkSpec;
@@ -102,8 +103,12 @@ pub struct SimConfig {
     /// independently per hop — models the *non-congestion* losses (silent
     /// drops, corruption) that §5 declares out of TLT's scope: when they
     /// hit an important packet, performance falls back to the underlying
-    /// transport's RTO.
+    /// transport's RTO. Shorthand: the engine expands a nonzero rate into a
+    /// uniform per-link Bernoulli loss model in the fault state.
     pub wire_loss_rate: f64,
+    /// Timed fault injections (link flaps, per-link degradation, bursty
+    /// loss, PFC pause storms), applied on the main event queue.
+    pub faults: FaultSchedule,
     /// Per-port telemetry sampling period for the flight recorder's
     /// `PortSample` time series; `None` disables. Only consulted when a
     /// tracer is attached (`Engine::set_tracer`).
@@ -143,6 +148,7 @@ impl SimConfig {
             max_time: SimTime::from_secs(5),
             queue_sample_every: None,
             wire_loss_rate: 0.0,
+            faults: FaultSchedule::new(),
             trace_sample_every: None,
             seed: 1,
         }
@@ -181,6 +187,7 @@ impl SimConfig {
             max_time: SimTime::from_secs(5),
             queue_sample_every: None,
             wire_loss_rate: 0.0,
+            faults: FaultSchedule::new(),
             trace_sample_every: None,
             seed: 1,
         }
@@ -215,6 +222,12 @@ impl SimConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> SimConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a fault schedule.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> SimConfig {
+        self.faults = faults;
         self
     }
 }

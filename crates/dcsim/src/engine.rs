@@ -1,14 +1,12 @@
 //! The event loop.
 
-use std::collections::HashMap;
-
 use eventsim::{EventQueue, SimTime};
-use netsim::link::WireFault;
+use faults::{FaultAction, FaultState};
 use netsim::packet::{Color, Direction, FlowId, Packet};
 use netsim::switch::{PfcConfig, PfcSignal, Switch, SwitchConfig};
 use netsim::topology::{Hop, NodeId, NodeKind, PortId, Topology};
 use netstats::{FlowRecord, Samples};
-use telemetry::{DropWhy, TimerId, TraceEvent, Tracer};
+use telemetry::{DropWhy, FaultKind, TimerId, TraceEvent, Tracer};
 use tlt_core::{RateTltConfig, WindowTltConfig};
 use transport::cc::{Dctcp, Hpcc, NewReno};
 use transport::iface::{Action, Ctx, FlowReceiver, FlowSender, TimerKind, TltMode};
@@ -68,6 +66,20 @@ pub struct AggregateStats {
     pub delivery: Samples,
     /// Packets lost to injected wire corruption (non-congestion losses).
     pub wire_drops: u64,
+    /// Frames destroyed on downed links: serialized onto a dead wire,
+    /// caught in flight when the link failed, or orphaned by a reroute.
+    pub down_drops: u64,
+    /// Fault-schedule events applied.
+    pub faults_injected: u64,
+    /// Time the first fault fired ([`SimTime::ZERO`] when none did) — the
+    /// origin for recovery-time measurements.
+    pub first_fault_at: SimTime,
+    /// Flows successfully re-pinned onto a fully-up ECMP path after a
+    /// `LinkDown { reroute_after: Some(_) }`.
+    pub reroutes: u64,
+    /// Timers still armed on *completed* flows when the run ended. The
+    /// engine disarms on completion, so nonzero means a bookkeeping leak.
+    pub timers_leaked: u64,
     /// Wall time the simulation covered.
     pub duration: SimTime,
     /// Total simulator events scheduled (the engine's unit of work, for
@@ -129,6 +141,15 @@ enum Event {
     },
     QueueSample,
     TraceSample,
+    /// Apply entry `i` of the fault schedule.
+    Fault(u32),
+    /// A pause storm against `node`'s ingress `port` ends.
+    StormEnd {
+        node: NodeId,
+        port: PortId,
+    },
+    /// Re-pin flows whose paths cross downed links.
+    Reroute,
 }
 
 /// Maps a transport timer slot onto the telemetry schema's id.
@@ -139,6 +160,26 @@ fn timer_id(kind: TimerKind) -> TimerId {
         TimerKind::Pace => TimerId::Pace,
         TimerKind::DcqcnAlpha => TimerId::DcqcnAlpha,
         TimerKind::DcqcnIncrease => TimerId::DcqcnIncrease,
+    }
+}
+
+/// Every timer slot, in a *fixed* order — audits and disarm sweeps iterate
+/// this array (never a hash map) so event schedules stay deterministic.
+const TIMER_KINDS: [TimerKind; 5] = [
+    TimerKind::Rto,
+    TimerKind::Tlp,
+    TimerKind::Pace,
+    TimerKind::DcqcnAlpha,
+    TimerKind::DcqcnIncrease,
+];
+
+fn timer_slot(kind: TimerKind) -> usize {
+    match kind {
+        TimerKind::Rto => 0,
+        TimerKind::Tlp => 1,
+        TimerKind::Pace => 2,
+        TimerKind::DcqcnAlpha => 3,
+        TimerKind::DcqcnIncrease => 4,
     }
 }
 
@@ -159,7 +200,8 @@ struct FlowRuntime {
     path_rev: Vec<Hop>,
     sender: Box<dyn FlowSender>,
     receiver: Box<dyn FlowReceiver>,
-    timer_gen: HashMap<TimerKind, u64>,
+    timer_gen: [u64; TIMER_KINDS.len()],
+    timer_armed: [bool; TIMER_KINDS.len()],
     complete_at: Option<SimTime>,
 }
 
@@ -176,7 +218,10 @@ pub struct Engine {
     actions: Vec<Action>,
     base_rtt: SimTime,
     bdp: u64,
-    wire: WireFault,
+    faults: FaultState,
+    faults_injected: u64,
+    first_fault_at: Option<SimTime>,
+    reroutes: u64,
     tracer: Tracer,
 }
 
@@ -256,7 +301,8 @@ impl Engine {
                 path_rev,
                 sender,
                 receiver,
-                timer_gen: HashMap::new(),
+                timer_gen: [0; TIMER_KINDS.len()],
+                timer_armed: [false; TIMER_KINDS.len()],
                 complete_at: None,
             });
         }
@@ -264,7 +310,33 @@ impl Engine {
             queue.schedule(every, Event::QueueSample);
         }
 
-        let wire = WireFault::new(cfg.wire_loss_rate, cfg.seed ^ 0x5717E_u64);
+        // Per-link fault state. The seed derivation matches the old global
+        // `WireFault` exactly, so `wire_loss_rate` runs reproduce the
+        // historical drop pattern byte for byte.
+        let mut fstate = FaultState::new(topo.link_count(), cfg.seed ^ 0x5717E_u64);
+        if cfg.wire_loss_rate > 0.0 {
+            fstate.set_uniform_loss(cfg.wire_loss_rate);
+        }
+        // Faults ride the main event queue (stable FIFO tie-break keeps
+        // list order at equal timestamps), so `--jobs N` determinism holds.
+        for (i, ev) in cfg.faults.events().iter().enumerate() {
+            let n = ev.node.0 as usize;
+            assert!(n < topo.node_count(), "fault {i}: node {n} out of range");
+            assert!(
+                (ev.port.0 as usize) < topo.port_count(ev.node),
+                "fault {i}: port {} out of range for node {n}",
+                ev.port.0
+            );
+            if matches!(ev.action, FaultAction::PauseStorm { .. }) {
+                assert_eq!(
+                    topo.kind(ev.node),
+                    NodeKind::Switch,
+                    "fault {i}: pause storms target a switch ingress"
+                );
+            }
+            queue.schedule(ev.at, Event::Fault(i as u32));
+        }
+
         Engine {
             cfg,
             topo,
@@ -277,7 +349,10 @@ impl Engine {
             actions: Vec::new(),
             base_rtt,
             bdp,
-            wire,
+            faults: fstate,
+            faults_injected: 0,
+            first_fault_at: None,
+            reroutes: 0,
             tracer: Tracer::off(),
         }
     }
@@ -330,6 +405,10 @@ impl Engine {
                     if rt.complete_at.is_some() && rt.sender.is_done() {
                         done_flag[i] = true;
                         remaining -= 1;
+                        // A finished flow must not leave timers armed: a
+                        // stale RTO would keep the event loop spinning and
+                        // show up as a leak in the end-of-run audit.
+                        self.disarm_timers($f);
                     }
                 }
             }};
@@ -365,13 +444,10 @@ impl Engine {
                     self.kick_port(node, port);
                 }
                 Event::Timer { flow, kind, gen } => {
-                    let live = self.flows[flow as usize]
-                        .timer_gen
-                        .get(&kind)
-                        .copied()
-                        .unwrap_or(0)
-                        == gen;
+                    let slot = timer_slot(kind);
+                    let live = self.flows[flow as usize].timer_gen[slot] == gen;
                     if live {
+                        self.flows[flow as usize].timer_armed[slot] = false;
                         self.tracer.emit(t, || TraceEvent::TimerFire {
                             flow,
                             kind: timer_id(kind),
@@ -445,6 +521,21 @@ impl Engine {
                         }
                     }
                 }
+                Event::Fault(i) => self.apply_fault(i as usize),
+                Event::StormEnd { node, port } => {
+                    self.tracer.emit(t, || TraceEvent::Fault {
+                        kind: FaultKind::StormEnd,
+                        node: node.0,
+                        port: port.0,
+                    });
+                    let sw = self.switches[node.0 as usize]
+                        .as_mut()
+                        .expect("storm target must be a switch");
+                    if let Some(sig) = sw.storm_xon(port, t) {
+                        self.send_pfc(node, sig);
+                    }
+                }
+                Event::Reroute => self.reroute_flows(),
             }
             if remaining == 0 {
                 break;
@@ -473,7 +564,11 @@ impl Engine {
         let mut agg = AggregateStats {
             duration: end,
             events_scheduled: self.queue.scheduled_total(),
-            wire_drops: self.wire.drops,
+            wire_drops: self.faults.wire_drops,
+            down_drops: self.faults.down_drops,
+            faults_injected: self.faults_injected,
+            first_fault_at: self.first_fault_at.unwrap_or(SimTime::ZERO),
+            reroutes: self.reroutes,
             queue_samples,
             link_pause_fraction: if pause_fracs.is_empty() {
                 0.0
@@ -496,6 +591,11 @@ impl Engine {
 
         let mut flows = Vec::with_capacity(self.flows.len());
         for (i, rt) in self.flows.iter().enumerate() {
+            if rt.complete_at.is_some() && rt.sender.is_done() {
+                // Completion disarms every slot; anything still armed is a
+                // leak (and would have kept the event loop busy).
+                agg.timers_leaked += rt.timer_armed.iter().filter(|a| **a).count() as u64;
+            }
             let st = rt.sender.stats();
             agg.timeouts += st.timeouts;
             agg.fast_retx += st.fast_retx;
@@ -537,6 +637,12 @@ impl Engine {
     /// the packet reached a flow endpoint (so the caller re-checks flow
     /// doneness).
     fn deliver(&mut self, to: NodeId, in_port: PortId, pkt: Packet) -> bool {
+        // A frame that was in flight when its link went down is destroyed
+        // at the receiving end of the wire.
+        if self.faults.is_down(self.topo.incoming_link(to, in_port)) {
+            self.destroy_frame(to, in_port, &pkt);
+            return false;
+        }
         let f = pkt.flow.0;
         let rt = &mut self.flows[f as usize];
         let path = match pkt.dir {
@@ -545,6 +651,16 @@ impl Engine {
         };
         let h = pkt.hop as usize;
         if h >= path.len() {
+            // A reroute may have swapped the path under a frame in flight;
+            // only frames arriving at the real endpoint are delivered.
+            let endpoint = match pkt.dir {
+                Direction::Fwd => rt.dst,
+                Direction::Rev => rt.src,
+            };
+            if to != endpoint {
+                self.destroy_frame(to, in_port, &pkt);
+                return false;
+            }
             // Endpoint: hand to the transport.
             let mut ctx = Ctx {
                 now: self.now,
@@ -568,8 +684,13 @@ impl Engine {
             self.flush_actions(f);
             return true;
         }
-        // Transit switch.
-        debug_assert_eq!(path[h].node, to, "path desync");
+        // Transit switch. After a mid-flight reroute the hop index points
+        // into the *new* path, which may visit different nodes: frames
+        // stranded on the old path are destroyed, not misrouted.
+        if path[h].node != to {
+            self.destroy_frame(to, in_port, &pkt);
+            return false;
+        }
         let egress = path[h].port;
         let mut pkt = pkt;
         pkt.hop += 1;
@@ -622,14 +743,29 @@ impl Engine {
             self.host_q[n].pop_front()
         };
         let Some(pkt) = pkt else { return };
-        let (_, rec) = self.topo.link_from(node, port);
-        let tx = rec.spec.tx_time(pkt.wire_size());
+        let (lid, rec) = self.topo.link_from(node, port);
+        let (spec, to) = (rec.spec, rec.to);
+        let tx = self.faults.tx_time(lid, &spec, pkt.wire_size());
         self.ports[n][port.0 as usize].busy = true;
         self.queue
             .schedule(self.now + tx, Event::TxDone { node, port });
-        // Non-congestion (corruption) loss: the port still spends the
-        // serialization time, but the frame never arrives.
-        if self.wire.corrupts() {
+        // Link failure: the port still spends the serialization time, but
+        // the frame goes onto a dead wire and is destroyed.
+        if self.faults.is_down(lid) {
+            self.faults.down_drops += 1;
+            self.tracer.emit(self.now, || TraceEvent::Drop {
+                node: node.0,
+                port: port.0,
+                flow: pkt.flow.0,
+                seq: pkt.seq,
+                why: DropWhy::LinkDown,
+                green: pkt.color == Color::Green && !pkt.is_control(),
+            });
+            return;
+        }
+        // Non-congestion (corruption) loss: same deal, the frame never
+        // arrives. Only links with an active loss model consult the RNG.
+        if self.faults.corrupts(lid) {
             self.tracer.emit(self.now, || TraceEvent::Drop {
                 node: node.0,
                 port: port.0,
@@ -641,13 +777,145 @@ impl Engine {
             return;
         }
         self.queue.schedule(
-            self.now + tx + rec.spec.delay,
+            self.now + tx + spec.delay,
             Event::Deliver {
-                to: rec.to.0,
-                in_port: rec.to.1,
+                to: to.0,
+                in_port: to.1,
                 pkt,
             },
         );
+    }
+
+    /// Destroys a frame lost to a link fault (downed wire or a path made
+    /// stale by a reroute), attributing it in the trace and counters.
+    fn destroy_frame(&mut self, node: NodeId, port: PortId, pkt: &Packet) {
+        self.faults.down_drops += 1;
+        self.tracer.emit(self.now, || TraceEvent::Drop {
+            node: node.0,
+            port: port.0,
+            flow: pkt.flow.0,
+            seq: pkt.seq,
+            why: DropWhy::LinkDown,
+            green: pkt.color == Color::Green && !pkt.is_control(),
+        });
+    }
+
+    /// Applies entry `i` of the fault schedule.
+    fn apply_fault(&mut self, i: usize) {
+        let ev = self.cfg.faults.events()[i];
+        self.faults_injected += 1;
+        self.first_fault_at.get_or_insert(self.now);
+        let (node, port) = (ev.node, ev.port);
+        match ev.action {
+            FaultAction::LinkDown { reroute_after } => {
+                let (lid, _) = self.topo.link_from(node, port);
+                self.faults.set_down(lid, true);
+                self.faults.set_down(self.topo.reverse_link(lid), true);
+                self.tracer.emit(self.now, || TraceEvent::Fault {
+                    kind: FaultKind::LinkDown,
+                    node: node.0,
+                    port: port.0,
+                });
+                if let Some(d) = reroute_after {
+                    self.queue.schedule(self.now + d, Event::Reroute);
+                }
+            }
+            FaultAction::LinkUp => {
+                let (lid, _) = self.topo.link_from(node, port);
+                self.faults.set_down(lid, false);
+                self.faults.set_down(self.topo.reverse_link(lid), false);
+                self.tracer.emit(self.now, || TraceEvent::Fault {
+                    kind: FaultKind::LinkUp,
+                    node: node.0,
+                    port: port.0,
+                });
+            }
+            FaultAction::Degrade { loss, rate_factor } => {
+                let (lid, _) = self.topo.link_from(node, port);
+                self.faults.set_loss(lid, loss);
+                self.faults.set_rate_factor(lid, rate_factor);
+                self.tracer.emit(self.now, || TraceEvent::Fault {
+                    kind: FaultKind::Degrade,
+                    node: node.0,
+                    port: port.0,
+                });
+            }
+            FaultAction::PauseStorm { duration } => {
+                self.tracer.emit(self.now, || TraceEvent::Fault {
+                    kind: FaultKind::StormStart,
+                    node: node.0,
+                    port: port.0,
+                });
+                let now = self.now;
+                let sw = self.switches[node.0 as usize]
+                    .as_mut()
+                    .expect("storm target must be a switch");
+                if let Some(sig) = sw.storm_xoff(port, now) {
+                    self.send_pfc(node, sig);
+                }
+                self.queue
+                    .schedule(now + duration, Event::StormEnd { node, port });
+            }
+        }
+    }
+
+    /// Re-pins every live flow whose pinned path crosses a downed link onto
+    /// a fully-up ECMP alternative (trying a bounded number of hash salts).
+    fn reroute_flows(&mut self) {
+        if !self.faults.any_down() {
+            return;
+        }
+        let path_up = |topo: &Topology, faults: &FaultState, path: &[Hop]| {
+            path.iter()
+                .all(|hop| !faults.is_down(topo.link_from(hop.node, hop.port).0))
+        };
+        for i in 0..self.flows.len() {
+            let rt = &self.flows[i];
+            if rt.complete_at.is_some() && rt.sender.is_done() {
+                continue;
+            }
+            if path_up(&self.topo, &self.faults, &rt.path_fwd)
+                && path_up(&self.topo, &self.faults, &rt.path_rev)
+            {
+                continue;
+            }
+            let (src, dst) = (rt.src, rt.dst);
+            let mut ok = false;
+            for bump in 1..=8u64 {
+                let salt = (i as u64 ^ self.cfg.seed).wrapping_add(bump << 32);
+                let hash = Topology::ecmp_hash(src, dst, salt);
+                let (pf, pr) = self.topo.pin_paths(src, dst, hash);
+                if path_up(&self.topo, &self.faults, &pf) && path_up(&self.topo, &self.faults, &pr)
+                {
+                    self.flows[i].path_fwd = pf;
+                    self.flows[i].path_rev = pr;
+                    ok = true;
+                    break;
+                }
+            }
+            if ok {
+                self.reroutes += 1;
+            }
+            self.tracer
+                .emit(self.now, || TraceEvent::Reroute { flow: i as u32, ok });
+        }
+    }
+
+    /// Cancels every armed timer of flow `f` (fixed slot order, so the
+    /// trace and generation bumps are deterministic).
+    fn disarm_timers(&mut self, f: u32) {
+        for kind in TIMER_KINDS {
+            let s = timer_slot(kind);
+            let rt = &mut self.flows[f as usize];
+            if rt.timer_armed[s] {
+                rt.timer_gen[s] += 1;
+                rt.timer_armed[s] = false;
+                self.tracer.emit(self.now, || TraceEvent::TimerCancel {
+                    flow: f,
+                    kind: timer_id(kind),
+                });
+            }
+        }
     }
 
     /// Applies the actions a transport callback produced for flow `f`.
@@ -668,9 +936,10 @@ impl Engine {
                 }
                 Action::SetTimer { kind, at } => {
                     let rt = &mut self.flows[f as usize];
-                    let gen = rt.timer_gen.entry(kind).or_insert(0);
-                    *gen += 1;
-                    let gen = *gen;
+                    let s = timer_slot(kind);
+                    rt.timer_gen[s] += 1;
+                    rt.timer_armed[s] = true;
+                    let gen = rt.timer_gen[s];
                     let at = at.max(self.now);
                     self.tracer.emit(self.now, || TraceEvent::TimerArm {
                         flow: f,
@@ -681,7 +950,9 @@ impl Engine {
                 }
                 Action::CancelTimer { kind } => {
                     let rt = &mut self.flows[f as usize];
-                    *rt.timer_gen.entry(kind).or_insert(0) += 1;
+                    let s = timer_slot(kind);
+                    rt.timer_gen[s] += 1;
+                    rt.timer_armed[s] = false;
                     self.tracer.emit(self.now, || TraceEvent::TimerCancel {
                         flow: f,
                         kind: timer_id(kind),
@@ -987,6 +1258,156 @@ mod tests {
         let cfg = SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(2));
         let res = one_flow(cfg, 200_000);
         assert_eq!(res.agg.wire_drops, 0);
+    }
+
+    #[test]
+    fn permanent_link_down_drains_without_wedging() {
+        // A flow whose only path is severed can never finish; the run must
+        // still drain (bounded by max_time), the victim must not wedge the
+        // loop, and completed flows must not leak armed timers.
+        let mut cfg =
+            SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(4));
+        cfg.max_time = SimTime::from_ms(50);
+        // Host index 2 is node 3 (switch is node 0); down its NIC link.
+        cfg.faults = faults::FaultSchedule::new().link_down(SimTime::from_us(50), 3, 0);
+        let flows = vec![
+            FlowSpec::new(1, 0, 64_000, SimTime::ZERO, true),
+            FlowSpec::new(2, 0, 64_000, SimTime::ZERO, true),
+            FlowSpec::new(3, 0, 64_000, SimTime::ZERO, true),
+        ];
+        let res = Engine::new(cfg, flows).run();
+        assert!(res.flows[1].end.is_none(), "severed flow cannot complete");
+        assert!(res.flows[0].end.is_some(), "bystander flow completes");
+        assert!(res.flows[2].end.is_some(), "bystander flow completes");
+        assert!(res.agg.down_drops > 0, "frames died on the dead wire");
+        assert!(res.agg.timeouts > 0, "the victim kept RTO-probing");
+        assert_eq!(res.agg.timers_leaked, 0, "no armed timers on done flows");
+        assert_eq!(res.agg.faults_injected, 1);
+        assert_eq!(res.agg.first_fault_at, SimTime::from_us(50));
+    }
+
+    #[test]
+    fn short_flap_is_recovered_by_fast_retransmit() {
+        // §5: TLT does not recover non-congestion losses — but a flap
+        // shorter than the RTT only punches a hole in the stream, and the
+        // transport's fast retransmit fills it without an RTO.
+        let mut cfg =
+            SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(3));
+        // Host index 1 is node 2; 5 us flap mid-transfer (base RTT 40 us).
+        cfg.faults = faults::FaultSchedule::new().link_flap(
+            SimTime::from_us(200),
+            2,
+            0,
+            SimTime::from_us(5),
+        );
+        let res = Engine::new(
+            cfg,
+            vec![FlowSpec::new(1, 0, 1_000_000, SimTime::ZERO, false)],
+        )
+        .run();
+        assert!(res.flows[0].end.is_some(), "flow survives the flap");
+        assert!(res.agg.down_drops > 0, "the flap destroyed frames");
+        assert_eq!(res.agg.timeouts, 0, "recovery did not need an RTO");
+        assert!(res.agg.fast_retx > 0, "fast retransmit repaired the hole");
+        assert_eq!(res.agg.faults_injected, 2, "down + up both applied");
+    }
+
+    #[test]
+    fn reroute_restores_a_cross_fabric_flow() {
+        // Kill the exact ToR uplink the flow's ECMP hash pinned; with a
+        // reroute delay the flow re-pins onto a surviving core and finishes.
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp);
+        let topo = cfg.topology.build();
+        let (src, dst) = (topo.hosts()[0], topo.hosts()[95]);
+        // Flow index 0, so the engine's `index ^ seed` salt reduces to the seed.
+        let hash = netsim::topology::Topology::ecmp_hash(src, dst, cfg.seed);
+        let (fwd, _) = topo.pin_paths(src, dst, hash);
+        let uplink = fwd[1]; // host -> [ToR] -> core -> ToR -> host
+        let cfg = cfg.with_faults(faults::FaultSchedule::new().link_down_rerouted(
+            SimTime::from_us(100),
+            uplink.node.0,
+            uplink.port.0,
+            SimTime::from_us(100),
+        ));
+        let res = Engine::new(
+            cfg,
+            vec![FlowSpec::new(0, 95, 2_000_000, SimTime::ZERO, false)],
+        )
+        .run();
+        assert!(
+            res.flows[0].end.is_some(),
+            "flow completes after re-pinning"
+        );
+        assert_eq!(res.agg.reroutes, 1, "exactly one flow re-pinned");
+        assert!(res.agg.down_drops > 0, "in-flight frames were destroyed");
+    }
+
+    #[test]
+    fn fault_on_an_idle_link_perturbs_nothing() {
+        // Per-link isolation: a loss model on a link nothing crosses must
+        // not change a single byte of the outcome (the old global WireFault
+        // could not make this guarantee).
+        let run = |faulty: bool| {
+            let mut cfg =
+                SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(4));
+            if faulty {
+                // Host index 3 is node 4 and carries no flows.
+                cfg.faults = faults::FaultSchedule::new().degrade(
+                    SimTime::ZERO,
+                    4,
+                    0,
+                    faults::LossModel::Bernoulli { rate: 0.5 },
+                    Some(0.25),
+                );
+            }
+            let flows = vec![
+                FlowSpec::new(1, 0, 200_000, SimTime::ZERO, true),
+                FlowSpec::new(2, 0, 200_000, SimTime::ZERO, true),
+            ];
+            Engine::new(cfg, flows).run()
+        };
+        let clean = run(false);
+        let faulty = run(true);
+        for (a, b) in clean.flows.iter().zip(faulty.flows.iter()) {
+            assert_eq!(a.end, b.end, "flow outcome changed by an idle fault");
+        }
+        assert_eq!(clean.agg.data_pkts_sent, faulty.agg.data_pkts_sent);
+        assert_eq!(clean.agg.drops_dt, faulty.agg.drops_dt);
+        assert_eq!(faulty.agg.wire_drops, 0, "idle loss model never drew");
+        assert_eq!(faulty.agg.faults_injected, 1);
+    }
+
+    #[test]
+    fn pause_storm_stalls_traffic_then_releases_it() {
+        let mk = |storm: bool| {
+            let mut cfg =
+                SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(3));
+            if storm {
+                // Switch (node 0) ingress 1 faces host index 1, the sender.
+                cfg.faults = faults::FaultSchedule::new().pause_storm(
+                    SimTime::from_us(100),
+                    0,
+                    1,
+                    SimTime::from_us(300),
+                );
+            }
+            Engine::new(
+                cfg,
+                vec![FlowSpec::new(1, 0, 1_000_000, SimTime::ZERO, false)],
+            )
+            .run()
+        };
+        let clean = mk(false);
+        let stormy = mk(true);
+        let fct_clean = clean.flows[0].fct().expect("clean run completes");
+        let fct_storm = stormy.flows[0].fct().expect("stormy run completes");
+        assert!(stormy.agg.pause_frames >= 1, "spurious XOFF was sent");
+        assert!(stormy.agg.link_pause_fraction > 0.0);
+        assert!(
+            fct_storm >= fct_clean + SimTime::from_us(250),
+            "storm stalled the flow: {fct_storm} vs {fct_clean}"
+        );
+        assert_eq!(stormy.agg.timeouts, 0, "300 us pause is below RTO_min");
     }
 
     #[test]

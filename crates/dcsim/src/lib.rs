@@ -5,7 +5,9 @@
 //! `tlt-core`, and the statistics layer from `netstats`. It owns the event
 //! loop: packet serialization and propagation, switch enqueue/dequeue side
 //! effects (drops, ECN, PFC pause frames), per-flow timers with
-//! generation-based cancellation, and flow lifecycle tracking.
+//! generation-based cancellation, flow lifecycle tracking, and scheduled
+//! fault injection (link flaps with optional ECMP re-pinning, per-link
+//! corruption/degradation from the `faults` crate, PFC pause storms).
 //!
 //! A simulation is a pure function: `Engine::new(config, flows).run()`
 //! returns a [`SimResult`] with per-flow records and aggregate counters.
@@ -34,3 +36,7 @@ mod engine;
 
 pub use config::{small_single_switch, FlowSpec, SimConfig, SwitchParams, TltSettings};
 pub use engine::{AggregateStats, Engine, SimResult};
+
+// Re-exported so engine users can build fault schedules without naming the
+// `faults` crate in their own dependency list.
+pub use faults::{FaultAction, FaultEvent, FaultSchedule, LossModel};

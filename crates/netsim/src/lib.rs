@@ -23,7 +23,7 @@ pub mod packet;
 pub mod switch;
 pub mod topology;
 
-pub use link::{LinkSpec, WireFault};
+pub use link::LinkSpec;
 pub use packet::{Color, Direction, FlowId, IntHop, Packet, PacketKind, SackBlock, TltMark};
 pub use switch::{DropReason, EcnConfig, EnqueueOutcome, PfcConfig, Switch, SwitchConfig};
 pub use topology::{Hop, LinkId, NodeId, NodeKind, PortId, Topology, TopologySpec};

@@ -1,7 +1,10 @@
-//! Point-to-point link parameters, timing math, and the wire-corruption
-//! fault model.
+//! Point-to-point link parameters and timing math.
+//!
+//! Wire corruption and other link faults live in the `faults` crate, which
+//! keeps per-link fault state (down/up, loss model, rate degradation) that
+//! the engine consults once per transmitted frame.
 
-use eventsim::{SimRng, SimTime};
+use eventsim::SimTime;
 
 /// Static parameters of one direction of a point-to-point link.
 ///
@@ -57,48 +60,6 @@ impl LinkSpec {
     }
 }
 
-/// Seeded Bernoulli corruption-loss process shared by all links of a run.
-///
-/// Models non-congestion frame loss (§5 of the paper: losses TLT explicitly
-/// does *not* recover — the transmitting port still spends the serialization
-/// time, but the frame never arrives). The engine consults it once per
-/// transmitted frame; with `rate == 0` the RNG is never advanced, so
-/// enabling/disabling corruption does not perturb other random streams.
-#[derive(Debug)]
-pub struct WireFault {
-    rate: f64,
-    rng: SimRng,
-    /// Frames destroyed so far.
-    pub drops: u64,
-}
-
-impl WireFault {
-    /// A fault process losing each frame independently with probability
-    /// `rate`, driven by its own stream seeded from `seed`.
-    pub fn new(rate: f64, seed: u64) -> WireFault {
-        WireFault {
-            rate,
-            rng: SimRng::seed_from(seed),
-            drops: 0,
-        }
-    }
-
-    /// The configured per-frame loss probability.
-    pub fn rate(&self) -> f64 {
-        self.rate
-    }
-
-    /// Decides the fate of one frame, recording a drop when it is lost.
-    pub fn corrupts(&mut self) -> bool {
-        if self.rate > 0.0 && self.rng.gen_bool(self.rate) {
-            self.drops += 1;
-            true
-        } else {
-            false
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,36 +89,5 @@ mod tests {
     #[should_panic(expected = "bandwidth")]
     fn zero_bandwidth_rejected() {
         let _ = LinkSpec::new(0, SimTime::ZERO);
-    }
-
-    #[test]
-    fn wire_fault_zero_rate_never_drops_or_advances() {
-        let mut f = WireFault::new(0.0, 123);
-        for _ in 0..1000 {
-            assert!(!f.corrupts());
-        }
-        assert_eq!(f.drops, 0);
-        // The RNG was never consumed: a fresh one agrees with it.
-        assert_eq!(
-            SimRng::seed_from(123).gen_u64(),
-            f.rng.gen_u64(),
-            "zero-rate fault must not advance its stream"
-        );
-    }
-
-    #[test]
-    fn wire_fault_counts_and_reproduces() {
-        let run = || {
-            let mut f = WireFault::new(0.05, 7);
-            let pattern: Vec<bool> = (0..2000).map(|_| f.corrupts()).collect();
-            (f.drops, pattern)
-        };
-        let (drops, a) = run();
-        let (drops2, b) = run();
-        assert_eq!(a, b, "same seed, same losses");
-        assert_eq!(drops, drops2);
-        assert_eq!(drops, a.iter().filter(|&&x| x).count() as u64);
-        // 5% of 2000 = 100 expected; allow generous slack.
-        assert!((40..=180).contains(&drops), "drops {drops}");
     }
 }

@@ -204,6 +204,7 @@ pub struct Switch {
     total_bytes: u64,
     ingress_bytes: Vec<u64>,
     pause_sent: Vec<bool>,
+    storm: Vec<bool>,
     tx_bytes: Vec<u64>,
     stats: SwitchStats,
     rng: SimRng,
@@ -233,6 +234,7 @@ impl Switch {
             total_bytes: 0,
             ingress_bytes: vec![0; n],
             pause_sent: vec![false; n],
+            storm: vec![false; n],
             tx_bytes: vec![0; n],
             stats: SwitchStats::default(),
             rng: SimRng::seed_from(seed ^ 0xD1E5_EA5E),
@@ -470,7 +472,9 @@ impl Switch {
 
         let mut pfc = None;
         if let Some(p) = self.cfg.pfc {
-            if self.pause_sent[i] && self.ingress_bytes[i] <= p.xon {
+            // A spurious pause storm holds the ingress paused regardless of
+            // the real occupancy; the resume is deferred to `storm_xon`.
+            if self.pause_sent[i] && !self.storm[i] && self.ingress_bytes[i] <= p.xon {
                 self.pause_sent[i] = false;
                 self.stats.resumes_sent += 1;
                 pfc = Some(PfcSignal::Resume(q.ingress));
@@ -481,6 +485,55 @@ impl Switch {
             }
         }
         (Some(pkt), pfc)
+    }
+
+    /// Starts a spurious pause storm against `ingress`: the switch behaves
+    /// as if the port's PFC counter crossed XOFF even though it did not.
+    ///
+    /// Composes with real congestion pauses without double-sending: if the
+    /// ingress is already paused (for any reason) no new PAUSE goes out and
+    /// the storm merely extends the condition. Returns the PAUSE signal to
+    /// deliver upstream, if one was actually emitted.
+    pub fn storm_xoff(&mut self, ingress: PortId, now: SimTime) -> Option<PfcSignal> {
+        let i = ingress.0 as usize;
+        self.storm[i] = true;
+        if self.pause_sent[i] {
+            return None;
+        }
+        self.pause_sent[i] = true;
+        self.stats.pauses_sent += 1;
+        self.tracer.emit(now, || TraceEvent::PfcXoff {
+            node: self.node,
+            port: ingress.0,
+        });
+        Some(PfcSignal::Pause(ingress))
+    }
+
+    /// Ends a pause storm on `ingress`. The port resumes immediately unless
+    /// real PFC accounting still wants it paused (occupancy above XON), in
+    /// which case the normal dequeue path emits the resume once the backlog
+    /// drains — either way, resume always follows storm end.
+    pub fn storm_xon(&mut self, ingress: PortId, now: SimTime) -> Option<PfcSignal> {
+        let i = ingress.0 as usize;
+        if !self.storm[i] {
+            return None;
+        }
+        self.storm[i] = false;
+        if !self.pause_sent[i] {
+            return None;
+        }
+        if let Some(p) = self.cfg.pfc {
+            if self.ingress_bytes[i] > p.xon {
+                return None; // congestion genuinely persists; drain resumes
+            }
+        }
+        self.pause_sent[i] = false;
+        self.stats.resumes_sent += 1;
+        self.tracer.emit(now, || TraceEvent::PfcXon {
+            node: self.node,
+            port: ingress.0,
+        });
+        Some(PfcSignal::Resume(ingress))
     }
 }
 
@@ -710,6 +763,105 @@ mod tests {
             }
         }
         assert!(resume_seen);
+        assert_eq!(sw.stats().pauses_sent, 1);
+        assert_eq!(sw.stats().resumes_sent, 1);
+    }
+
+    #[test]
+    fn pause_storm_on_idle_ingress_pauses_and_resumes() {
+        // Storm on an idle port: XOFF out immediately, XON at storm end.
+        let mut cfg = small_cfg();
+        cfg.pfc = Some(PfcConfig {
+            xoff: 5_000,
+            xon: 3_000,
+        });
+        let mut sw = Switch::new(cfg, 0);
+        let sig = sw.storm_xoff(PortId(0), SimTime::ZERO);
+        assert_eq!(sig, Some(PfcSignal::Pause(PortId(0))));
+        // Re-asserting the storm never double-sends pause.
+        assert_eq!(sw.storm_xoff(PortId(0), SimTime::ZERO), None);
+        assert_eq!(sw.stats().pauses_sent, 1);
+        let sig = sw.storm_xon(PortId(0), SimTime::from_us(100));
+        assert_eq!(sig, Some(PfcSignal::Resume(PortId(0))));
+        assert_eq!(sw.stats().resumes_sent, 1);
+        // Storm already over: nothing more to do.
+        assert_eq!(sw.storm_xon(PortId(0), SimTime::from_us(101)), None);
+        assert_eq!(sw.stats().resumes_sent, 1);
+    }
+
+    #[test]
+    fn pause_storm_composes_with_congestion_pause() {
+        // Real congestion pauses first; a storm on top must not double-send
+        // XOFF, and at storm end the resume is deferred to the drain path
+        // because the ingress is still above XON.
+        let mut cfg = small_cfg();
+        cfg.pfc = Some(PfcConfig {
+            xoff: 5_000,
+            xon: 3_000,
+        });
+        let mut sw = Switch::new(cfg, 0);
+        for _ in 0..6 {
+            sw.enqueue(red(952), PortId(0), PortId(1), SimTime::ZERO);
+        }
+        assert_eq!(sw.stats().pauses_sent, 1, "congestion pause fired");
+        assert_eq!(sw.storm_xoff(PortId(0), SimTime::ZERO), None);
+        assert_eq!(sw.stats().pauses_sent, 1, "storm never double-sends");
+        // Storm ends while the backlog is still above XON: no resume yet.
+        assert_eq!(sw.storm_xon(PortId(0), SimTime::ZERO), None);
+        assert_eq!(sw.stats().resumes_sent, 0);
+        // ...but the normal drain path still resumes afterwards.
+        let mut resume_seen = false;
+        while sw.has_packets(PortId(1)) {
+            if let (_, Some(PfcSignal::Resume(p))) = sw.dequeue(PortId(1), SimTime::ZERO) {
+                assert_eq!(p, PortId(0));
+                resume_seen = true;
+            }
+        }
+        assert!(resume_seen, "resume always follows storm end");
+        assert_eq!(sw.stats().pauses_sent, 1);
+        assert_eq!(sw.stats().resumes_sent, 1);
+    }
+
+    #[test]
+    fn pause_storm_holds_resume_during_drain() {
+        // Congestion pause, then a storm: even when the backlog drains
+        // below XON, the dequeue path must NOT resume while the storm is
+        // active — only storm end releases the port.
+        let mut cfg = small_cfg();
+        cfg.pfc = Some(PfcConfig {
+            xoff: 5_000,
+            xon: 3_000,
+        });
+        let mut sw = Switch::new(cfg, 0);
+        for _ in 0..6 {
+            sw.enqueue(red(952), PortId(0), PortId(1), SimTime::ZERO);
+        }
+        assert_eq!(sw.stats().pauses_sent, 1);
+        sw.storm_xoff(PortId(0), SimTime::ZERO);
+        while sw.has_packets(PortId(1)) {
+            let (_, pfc) = sw.dequeue(PortId(1), SimTime::ZERO);
+            assert!(pfc.is_none(), "storm suppresses drain resume");
+        }
+        // Fully drained; storm end now resumes immediately.
+        let sig = sw.storm_xon(PortId(0), SimTime::from_us(50));
+        assert_eq!(sig, Some(PfcSignal::Resume(PortId(0))));
+        assert_eq!(sw.stats().pauses_sent, 1);
+        assert_eq!(sw.stats().resumes_sent, 1);
+    }
+
+    #[test]
+    fn pause_storm_without_pfc_config_still_resumes() {
+        // Spurious storms can hit a lossy (non-PFC) network too; with no
+        // PFC accounting the storm end must resume unconditionally.
+        let mut sw = Switch::new(small_cfg(), 0);
+        assert_eq!(
+            sw.storm_xoff(PortId(1), SimTime::ZERO),
+            Some(PfcSignal::Pause(PortId(1)))
+        );
+        assert_eq!(
+            sw.storm_xon(PortId(1), SimTime::from_us(10)),
+            Some(PfcSignal::Resume(PortId(1)))
+        );
         assert_eq!(sw.stats().pauses_sent, 1);
         assert_eq!(sw.stats().resumes_sent, 1);
     }

@@ -326,6 +326,21 @@ impl Topology {
         self.links.len()
     }
 
+    /// The opposite direction of a directed link. `connect` always pushes
+    /// the two directions of a cable as an adjacent pair (a->b at an even
+    /// id, b->a at the following odd id), so the reverse is `id ^ 1`.
+    pub fn reverse_link(&self, id: LinkId) -> LinkId {
+        debug_assert!((id.0 as usize) < self.links.len());
+        LinkId(id.0 ^ 1)
+    }
+
+    /// The directed link that *arrives* at `(node, port)` — the one a frame
+    /// delivered on that ingress just crossed. By port-pair symmetry this
+    /// is the reverse of the egress link on the same port.
+    pub fn incoming_link(&self, node: NodeId, port: PortId) -> LinkId {
+        self.reverse_link(self.link_from(node, port).0)
+    }
+
     /// The `(node, port)` that transmits *into* `(node, port)`'s ingress —
     /// i.e. the peer PFC PAUSE frames must be addressed to. Because ports
     /// are allocated in symmetric pairs, this is the far end of the egress
@@ -530,6 +545,23 @@ mod tests {
 
     fn l() -> LinkSpec {
         LinkSpec::new(40_000_000_000, SimTime::from_us(10))
+    }
+
+    #[test]
+    fn reverse_and_incoming_links_are_paired() {
+        let t = TopologySpec::paper_leaf_spine(SimTime::from_us(10)).build();
+        for id in 0..t.link_count() as u32 {
+            let id = LinkId(id);
+            let rev = t.reverse_link(id);
+            assert_ne!(id, rev);
+            assert_eq!(t.reverse_link(rev), id, "reverse is an involution");
+            let fwd = t.link(id);
+            let back = t.link(rev);
+            assert_eq!(fwd.from, back.to, "paired links share endpoints");
+            assert_eq!(fwd.to, back.from);
+            // The frame arriving on the far end's ingress crossed `id`.
+            assert_eq!(t.incoming_link(fwd.to.0, fwd.to.1), id);
+        }
     }
 
     fn validate_path(t: &Topology, path: &[Hop], src: NodeId, dst: NodeId) {

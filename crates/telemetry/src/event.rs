@@ -22,6 +22,10 @@ pub enum DropWhy {
     Overflow,
     /// Non-congestion wire corruption loss (§5: outside TLT's scope).
     Wire,
+    /// Destroyed on a failed (administratively down) link — while
+    /// serializing onto it, already in flight across it, or orphaned by a
+    /// path re-pin after the failure.
+    LinkDown,
 }
 
 impl DropWhy {
@@ -32,6 +36,7 @@ impl DropWhy {
             DropWhy::Dynamic => "dt",
             DropWhy::Overflow => "overflow",
             DropWhy::Wire => "wire",
+            DropWhy::LinkDown => "down",
         }
     }
 
@@ -42,6 +47,49 @@ impl DropWhy {
             "dt" => DropWhy::Dynamic,
             "overflow" => DropWhy::Overflow,
             "wire" => DropWhy::Wire,
+            "down" => DropWhy::LinkDown,
+            _ => return None,
+        })
+    }
+}
+
+/// What kind of injected fault a [`TraceEvent::Fault`] records.
+///
+/// Mirrors the `faults` crate's schedule actions without depending on it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// A link went down (both directions).
+    LinkDown,
+    /// A link came back up.
+    LinkUp,
+    /// A directed link's loss model / rate was overridden.
+    Degrade,
+    /// A spurious PFC pause storm started against a switch ingress.
+    StormStart,
+    /// A pause storm ended.
+    StormEnd,
+}
+
+impl FaultKind {
+    /// Stable wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::LinkDown => "link_down",
+            FaultKind::LinkUp => "link_up",
+            FaultKind::Degrade => "degrade",
+            FaultKind::StormStart => "storm_start",
+            FaultKind::StormEnd => "storm_end",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        Some(match s {
+            "link_down" => FaultKind::LinkDown,
+            "link_up" => FaultKind::LinkUp,
+            "degrade" => FaultKind::Degrade,
+            "storm_start" => FaultKind::StormStart,
+            "storm_end" => FaultKind::StormEnd,
             _ => return None,
         })
     }
@@ -115,6 +163,8 @@ pub enum TraceEvent {
         drops_overflow: u64,
         /// Wire-corruption losses.
         wire_drops: u64,
+        /// Frames destroyed on failed (down) links.
+        down_drops: u64,
         /// PFC PAUSE frames emitted.
         pause_frames: u64,
         /// Retransmission timeouts taken by all flows.
@@ -262,6 +312,22 @@ pub enum TraceEvent {
         /// First byte being retransmitted.
         seq: u64,
     },
+    /// An injected fault took effect (or a pause storm ended).
+    Fault {
+        /// What happened.
+        kind: FaultKind,
+        /// Node the fault targets (link endpoint or stormed switch).
+        node: u32,
+        /// Port on that node (link attachment point or stormed ingress).
+        port: u32,
+    },
+    /// The engine attempted to re-pin a flow's ECMP path after a failure.
+    Reroute {
+        /// Flow index.
+        flow: u32,
+        /// Whether a fully-up replacement path was found and adopted.
+        ok: bool,
+    },
     /// Periodic per-port telemetry sample.
     PortSample {
         /// Switch node id.
@@ -297,6 +363,8 @@ impl TraceEvent {
             TraceEvent::TimerFire { .. } => "timer_fire",
             TraceEvent::Timeout { .. } => "timeout",
             TraceEvent::FastRetx { .. } => "fast_retx",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Reroute { .. } => "reroute",
             TraceEvent::PortSample { .. } => "port_sample",
         }
     }
@@ -319,6 +387,7 @@ impl TraceEvent {
                 drops_dt,
                 drops_overflow,
                 wire_drops,
+                down_drops,
                 pause_frames,
                 timeouts,
             } => {
@@ -326,6 +395,7 @@ impl TraceEvent {
                 push_field(&mut s, "drops_dt", *drops_dt);
                 push_field(&mut s, "drops_overflow", *drops_overflow);
                 push_field(&mut s, "wire_drops", *wire_drops);
+                push_field(&mut s, "down_drops", *down_drops);
                 push_field(&mut s, "pause_frames", *pause_frames);
                 push_field(&mut s, "timeouts", *timeouts);
             }
@@ -407,6 +477,15 @@ impl TraceEvent {
                 push_field(&mut s, "flow", u64::from(*flow));
                 push_field(&mut s, "seq", *seq);
             }
+            TraceEvent::Fault { kind, node, port } => {
+                push_str_field(&mut s, "kind", kind.as_str());
+                push_field(&mut s, "node", u64::from(*node));
+                push_field(&mut s, "port", u64::from(*port));
+            }
+            TraceEvent::Reroute { flow, ok } => {
+                push_field(&mut s, "flow", u64::from(*flow));
+                push_bool_field(&mut s, "ok", *ok);
+            }
             TraceEvent::PortSample {
                 node,
                 port,
@@ -441,6 +520,7 @@ impl TraceEvent {
                 drops_dt: fields.num("drops_dt")?,
                 drops_overflow: fields.num("drops_overflow")?,
                 wire_drops: fields.num("wire_drops")?,
+                down_drops: fields.num("down_drops")?,
                 pause_frames: fields.num("pause_frames")?,
                 timeouts: fields.num("timeouts")?,
             },
@@ -521,6 +601,15 @@ impl TraceEvent {
             "fast_retx" => TraceEvent::FastRetx {
                 flow: u32_of("flow")?,
                 seq: fields.num("seq")?,
+            },
+            "fault" => TraceEvent::Fault {
+                kind: FaultKind::parse(fields.str("kind")?)?,
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+            },
+            "reroute" => TraceEvent::Reroute {
+                flow: u32_of("flow")?,
+                ok: fields.boolean("ok")?,
             },
             "port_sample" => TraceEvent::PortSample {
                 node: u32_of("node")?,
@@ -731,6 +820,7 @@ mod tests {
             drops_dt: 2,
             drops_overflow: 3,
             wire_drops: 4,
+            down_drops: 7,
             pause_frames: 5,
             timeouts: 6,
         });
@@ -758,6 +848,7 @@ mod tests {
             DropWhy::Dynamic,
             DropWhy::Overflow,
             DropWhy::Wire,
+            DropWhy::LinkDown,
         ] {
             roundtrip(TraceEvent::Drop {
                 node: 1,
@@ -801,6 +892,21 @@ mod tests {
         }
         roundtrip(TraceEvent::Timeout { flow: 5, seq: 0 });
         roundtrip(TraceEvent::FastRetx { flow: 5, seq: 1440 });
+        for kind in [
+            FaultKind::LinkDown,
+            FaultKind::LinkUp,
+            FaultKind::Degrade,
+            FaultKind::StormStart,
+            FaultKind::StormEnd,
+        ] {
+            roundtrip(TraceEvent::Fault {
+                kind,
+                node: 12,
+                port: 3,
+            });
+        }
+        roundtrip(TraceEvent::Reroute { flow: 8, ok: true });
+        roundtrip(TraceEvent::Reroute { flow: 8, ok: false });
         roundtrip(TraceEvent::PortSample {
             node: 2,
             port: 3,
@@ -830,6 +936,15 @@ mod tests {
         assert_eq!(
             ev.to_jsonl(SimTime::from_ns(42)),
             r#"{"t":42,"ev":"drop","node":3,"port":1,"flow":7,"seq":2880,"why":"color","green":false}"#
+        );
+        let ev = TraceEvent::Fault {
+            kind: FaultKind::LinkDown,
+            node: 50,
+            port: 0,
+        };
+        assert_eq!(
+            ev.to_jsonl(SimTime::from_us(400)),
+            r#"{"t":400000,"ev":"fault","kind":"link_down","node":50,"port":0}"#
         );
     }
 

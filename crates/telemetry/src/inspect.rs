@@ -13,7 +13,7 @@ use std::io::{self, BufRead};
 
 use eventsim::SimTime;
 
-use crate::event::TraceEvent;
+use crate::event::{FaultKind, TraceEvent};
 use crate::sink::{CountingSink, NodeCounts, TraceCounts, TraceSink};
 
 /// One PFC pause episode on a switch ingress port.
@@ -29,6 +29,19 @@ pub struct PauseSpan {
     pub end: Option<SimTime>,
 }
 
+/// One injected fault, as recorded on the trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultRecord {
+    /// When the fault took effect.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Targeted node.
+    pub node: u32,
+    /// Targeted port.
+    pub port: u32,
+}
+
 /// Totals declared by the producer in [`TraceEvent::RunEnd`].
 #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct DeclaredTotals {
@@ -40,6 +53,8 @@ pub struct DeclaredTotals {
     pub drops_overflow: u64,
     /// Wire-corruption losses.
     pub wire_drops: u64,
+    /// Frames destroyed on failed (down) links.
+    pub down_drops: u64,
     /// PFC PAUSE frames.
     pub pause_frames: u64,
     /// Retransmission timeouts.
@@ -61,6 +76,8 @@ pub struct RunSummary {
     pub declared: Option<DeclaredTotals>,
     /// PFC pause episodes, in XOFF order.
     pub pauses: Vec<PauseSpan>,
+    /// Injected faults, in application order.
+    pub faults: Vec<FaultRecord>,
     /// Number of events in the run (excluding the brackets).
     pub events: u64,
     /// Time of the last event seen (the `RunEnd` time when present).
@@ -93,6 +110,9 @@ impl RunSummary {
             d.drops_overflow,
         );
         chk("wire_drops", self.totals.drops_wire, d.wire_drops);
+        // Drops attributed to downed links must match the DropWhy::LinkDown
+        // accounting on the trace.
+        chk("down_drops", self.totals.drops_down, d.down_drops);
         chk("pause_frames", self.totals.pauses, d.pause_frames);
         chk("timeouts", self.totals.timeouts, d.timeouts);
         errs
@@ -112,12 +132,13 @@ impl RunSummary {
         );
         let _ = writeln!(
             s,
-            "  totals: drops color={} dt={} overflow={} wire={} (green victims={}), \
+            "  totals: drops color={} dt={} overflow={} wire={} down={} (green victims={}), \
              ce={} xoff={} xon={} timeouts={} fast_retx={}",
             self.totals.drops_color,
             self.totals.drops_dt,
             self.totals.drops_overflow,
             self.totals.drops_wire,
+            self.totals.drops_down,
             self.totals.drops_green,
             self.totals.ce_marked,
             self.totals.pauses,
@@ -148,6 +169,43 @@ impl RunSummary {
                     n.drops_green,
                     n.ce_marked,
                     n.pauses
+                );
+            }
+        }
+        if !self.faults.is_empty() {
+            let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+            for f in &self.faults {
+                *by_kind.entry(f.kind.as_str()).or_default() += 1;
+            }
+            let kinds = by_kind
+                .iter()
+                .map(|(k, n)| format!("{k}={n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                s,
+                "  faults ({} events: {kinds}); reroutes={}, down-link drops={}",
+                self.faults.len(),
+                self.totals.reroutes,
+                self.totals.drops_down,
+            );
+            const MAX_FAULTS: usize = 40;
+            let _ = writeln!(s, "  fault timeline:");
+            for f in self.faults.iter().take(MAX_FAULTS) {
+                let _ = writeln!(
+                    s,
+                    "    {:>12} ns  {:<12} node {} port {}",
+                    f.at.as_ns(),
+                    f.kind.as_str(),
+                    f.node,
+                    f.port
+                );
+            }
+            if self.faults.len() > MAX_FAULTS {
+                let _ = writeln!(
+                    s,
+                    "    ... {} more fault events omitted",
+                    self.faults.len() - MAX_FAULTS
                 );
             }
         }
@@ -249,6 +307,7 @@ struct RunBuilder {
     seed: u64,
     counts: CountingSink,
     pauses: Vec<PauseSpan>,
+    faults: Vec<FaultRecord>,
     open_pause: BTreeMap<(u32, u32), usize>,
     events: u64,
     declared: Option<DeclaredTotals>,
@@ -262,6 +321,7 @@ impl RunBuilder {
             seed,
             counts: CountingSink::default(),
             pauses: Vec::new(),
+            faults: Vec::new(),
             open_pause: BTreeMap::new(),
             events: 0,
             declared: None,
@@ -289,6 +349,14 @@ impl RunBuilder {
                     self.pauses[idx].end = Some(t);
                 }
             }
+            TraceEvent::Fault { kind, node, port } => {
+                self.faults.push(FaultRecord {
+                    at: t,
+                    kind: *kind,
+                    node: *node,
+                    port: *port,
+                });
+            }
             _ => {}
         }
     }
@@ -301,6 +369,7 @@ impl RunBuilder {
             per_node: self.counts.per_node,
             declared: self.declared,
             pauses: self.pauses,
+            faults: self.faults,
             events: self.events,
             end_t: self.end_t,
         }
@@ -332,6 +401,7 @@ pub fn inspect_str(text: &str) -> Report {
                 drops_dt,
                 drops_overflow,
                 wire_drops,
+                down_drops,
                 pause_frames,
                 timeouts,
             } => match current.take() {
@@ -342,6 +412,7 @@ pub fn inspect_str(text: &str) -> Report {
                         drops_dt,
                         drops_overflow,
                         wire_drops,
+                        down_drops,
                         pause_frames,
                         timeouts,
                     });
@@ -409,6 +480,7 @@ mod tests {
             drops_dt: 0,
             drops_overflow: 0,
             wire_drops: 0,
+            down_drops: 0,
             pause_frames: 2,
             timeouts: 1,
         });
@@ -421,6 +493,7 @@ mod tests {
             drops_dt: 0,
             drops_overflow: 0,
             wire_drops: 0,
+            down_drops: 0,
             pause_frames: 0,
             timeouts: 0,
         });
@@ -455,6 +528,79 @@ mod tests {
         assert_eq!(errs.len(), 1, "{errs:?}");
         assert!(errs[0].contains("drops_color"), "{errs:?}");
         assert!(report.render().contains("MISMATCH"));
+    }
+
+    /// A run with a link flap, a fault-attributed drop, and a reroute.
+    fn fault_trace(declared_down: u64) -> String {
+        let mut sink = JsonlSink::new(Vec::new());
+        let mut t = 0u64;
+        let mut emit = |ev: TraceEvent| {
+            t += 100;
+            sink.record(SimTime::from_ns(t), &ev);
+        };
+        emit(TraceEvent::RunStart {
+            label: "faults/flap".into(),
+            seed: 1,
+        });
+        emit(TraceEvent::Fault {
+            kind: FaultKind::LinkDown,
+            node: 50,
+            port: 0,
+        });
+        emit(TraceEvent::Drop {
+            node: 50,
+            port: 0,
+            flow: 7,
+            seq: 1440,
+            why: DropWhy::LinkDown,
+            green: true,
+        });
+        emit(TraceEvent::Reroute { flow: 7, ok: true });
+        emit(TraceEvent::Fault {
+            kind: FaultKind::LinkUp,
+            node: 50,
+            port: 0,
+        });
+        emit(TraceEvent::RunEnd {
+            drops_color: 0,
+            drops_dt: 0,
+            drops_overflow: 0,
+            wire_drops: 0,
+            down_drops: declared_down,
+            pause_frames: 0,
+            timeouts: 0,
+        });
+        String::from_utf8(sink.into_inner()).unwrap()
+    }
+
+    #[test]
+    fn fault_events_build_a_timeline_and_cross_check() {
+        let report = inspect_str(&fault_trace(1));
+        assert!(report.is_clean(), "{}", report.render());
+        let run = &report.runs[0];
+        assert_eq!(run.faults.len(), 2);
+        assert_eq!(run.faults[0].kind, FaultKind::LinkDown);
+        assert_eq!(run.faults[1].kind, FaultKind::LinkUp);
+        assert_eq!((run.faults[0].node, run.faults[0].port), (50, 0));
+        assert!(run.faults[0].at < run.faults[1].at);
+        assert_eq!(run.totals.drops_down, 1);
+        assert_eq!(run.totals.faults, 2);
+        assert_eq!(run.totals.reroutes, 1);
+        let text = report.render();
+        assert!(text.contains("fault timeline"), "{text}");
+        assert!(text.contains("link_down=1"), "{text}");
+        assert!(text.contains("link_up=1"), "{text}");
+        assert!(text.contains("reroutes=1"), "{text}");
+    }
+
+    #[test]
+    fn down_drop_mismatch_is_flagged() {
+        // Declares 9 down-link drops but the trace carries only 1.
+        let report = inspect_str(&fault_trace(9));
+        assert!(!report.is_clean());
+        let errs = report.runs[0].check();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("down_drops"), "{errs:?}");
     }
 
     #[test]

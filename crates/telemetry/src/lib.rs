@@ -51,7 +51,7 @@ mod series;
 mod sink;
 mod tracer;
 
-pub use event::{DropWhy, TimerId, TraceEvent};
+pub use event::{DropWhy, FaultKind, TimerId, TraceEvent};
 pub use series::{PortKey, SeriesPoint, SeriesSink};
 pub use sink::{
     BufferSink, CountingSink, FanoutSink, JsonlSink, NodeCounts, RingSink, TraceCounts, TraceSink,

@@ -83,8 +83,9 @@ impl TraceSink for SeriesSink {
                     DropWhy::Color => slot.0 += 1,
                     DropWhy::Dynamic => slot.1 += 1,
                     DropWhy::Overflow => slot.2 += 1,
-                    // Wire losses happen on links, not in a port's queue.
-                    DropWhy::Wire => {}
+                    // Wire/down-link losses happen on links, not in a
+                    // port's queue.
+                    DropWhy::Wire | DropWhy::LinkDown => {}
                 }
             }
             TraceEvent::PortSample {

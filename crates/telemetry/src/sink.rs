@@ -80,6 +80,8 @@ pub struct TraceCounts {
     pub drops_overflow: u64,
     /// Wire-corruption losses.
     pub drops_wire: u64,
+    /// Frames destroyed on failed (down) links.
+    pub drops_down: u64,
     /// Drops whose victim was a green (important) data packet.
     pub drops_green: u64,
     /// Packets CE-marked.
@@ -96,6 +98,10 @@ pub struct TraceCounts {
     pub flows_started: u64,
     /// Flows finished.
     pub flows_finished: u64,
+    /// Injected fault events (link down/up, degrade, storm start/end).
+    pub faults: u64,
+    /// Post-failure path re-pin attempts.
+    pub reroutes: u64,
 }
 
 impl TraceCounts {
@@ -114,6 +120,7 @@ impl TraceCounts {
                     DropWhy::Dynamic => self.drops_dt += 1,
                     DropWhy::Overflow => self.drops_overflow += 1,
                     DropWhy::Wire => self.drops_wire += 1,
+                    DropWhy::LinkDown => self.drops_down += 1,
                 }
                 if *green {
                     self.drops_green += 1;
@@ -126,6 +133,8 @@ impl TraceCounts {
             TraceEvent::FastRetx { .. } => self.fast_retx += 1,
             TraceEvent::FlowStart { .. } => self.flows_started += 1,
             TraceEvent::FlowEnd { .. } => self.flows_finished += 1,
+            TraceEvent::Fault { .. } => self.faults += 1,
+            TraceEvent::Reroute { .. } => self.reroutes += 1,
             _ => {}
         }
     }
@@ -156,7 +165,8 @@ impl CountingSink {
             | TraceEvent::Drop { node, .. }
             | TraceEvent::CeMark { node, .. }
             | TraceEvent::PfcXoff { node, .. }
-            | TraceEvent::PfcXon { node, .. } => Some(*node),
+            | TraceEvent::PfcXon { node, .. }
+            | TraceEvent::Fault { node, .. } => Some(*node),
             _ => None,
         }
     }

@@ -116,6 +116,7 @@ fn inspector_confirms_bracketed_run() {
         drops_dt: agg.drops_dt,
         drops_overflow: agg.drops_overflow,
         wire_drops: agg.wire_drops,
+        down_drops: agg.down_drops,
         pause_frames: agg.pause_frames,
         timeouts: agg.timeouts,
     });
