@@ -223,6 +223,11 @@ pub struct Engine {
     first_fault_at: Option<SimTime>,
     reroutes: u64,
     tracer: Tracer,
+    /// Strict-invariant conservation ledger: engine-side per-link and
+    /// per-drop-reason accounting, audited against [`AggregateStats`] at
+    /// drain time.
+    #[cfg(feature = "strict-invariants")]
+    ledger: crate::ledger::ConservationLedger,
 }
 
 impl Engine {
@@ -339,6 +344,8 @@ impl Engine {
 
         Engine {
             cfg,
+            #[cfg(feature = "strict-invariants")]
+            ledger: crate::ledger::ConservationLedger::new(topo.link_count()),
             topo,
             switches,
             ports,
@@ -630,6 +637,8 @@ impl Engine {
                 retx: st.fast_retx + st.rto_retx,
             });
         }
+        #[cfg(feature = "strict-invariants")]
+        self.ledger.audit_final(&agg);
         SimResult { flows, agg }
     }
 
@@ -639,7 +648,10 @@ impl Engine {
     fn deliver(&mut self, to: NodeId, in_port: PortId, pkt: Packet) -> bool {
         // A frame that was in flight when its link went down is destroyed
         // at the receiving end of the wire.
-        if self.faults.is_down(self.topo.incoming_link(to, in_port)) {
+        let in_link = self.topo.incoming_link(to, in_port);
+        #[cfg(feature = "strict-invariants")]
+        self.ledger.on_arrival(in_link.0 as usize, pkt.wire_size());
+        if self.faults.is_down(in_link) {
             self.destroy_frame(to, in_port, &pkt);
             return false;
         }
@@ -698,6 +710,15 @@ impl Engine {
             .as_mut()
             .expect("transit node must be a switch");
         let outcome = sw.enqueue(pkt, in_port, egress, self.now);
+        #[cfg(feature = "strict-invariants")]
+        if let Some(r) = outcome.drop {
+            use netsim::switch::DropReason;
+            self.ledger.account_drop(match r {
+                DropReason::ColorThreshold => DropWhy::Color,
+                DropReason::DynamicThreshold => DropWhy::Dynamic,
+                DropReason::BufferOverflow => DropWhy::Overflow,
+            });
+        }
         if let Some(sig) = outcome.pfc {
             self.send_pfc(to, sig);
         }
@@ -745,7 +766,10 @@ impl Engine {
         let Some(pkt) = pkt else { return };
         let (lid, rec) = self.topo.link_from(node, port);
         let (spec, to) = (rec.spec, rec.to);
-        let tx = self.faults.tx_time(lid, &spec, pkt.wire_size());
+        let wire = pkt.wire_size();
+        let tx = self.faults.tx_time(lid, &spec, wire);
+        #[cfg(feature = "strict-invariants")]
+        self.ledger.on_tx(lid.0 as usize, wire);
         self.ports[n][port.0 as usize].busy = true;
         self.queue
             .schedule(self.now + tx, Event::TxDone { node, port });
@@ -753,6 +777,9 @@ impl Engine {
         // the frame goes onto a dead wire and is destroyed.
         if self.faults.is_down(lid) {
             self.faults.down_drops += 1;
+            #[cfg(feature = "strict-invariants")]
+            self.ledger
+                .on_tx_dropped(lid.0 as usize, wire, DropWhy::LinkDown);
             self.tracer.emit(self.now, || TraceEvent::Drop {
                 node: node.0,
                 port: port.0,
@@ -766,6 +793,9 @@ impl Engine {
         // Non-congestion (corruption) loss: same deal, the frame never
         // arrives. Only links with an active loss model consult the RNG.
         if self.faults.corrupts(lid) {
+            #[cfg(feature = "strict-invariants")]
+            self.ledger
+                .on_tx_dropped(lid.0 as usize, wire, DropWhy::Wire);
             self.tracer.emit(self.now, || TraceEvent::Drop {
                 node: node.0,
                 port: port.0,
@@ -776,6 +806,8 @@ impl Engine {
             });
             return;
         }
+        #[cfg(feature = "strict-invariants")]
+        self.ledger.on_scheduled(lid.0 as usize, wire);
         self.queue.schedule(
             self.now + tx + spec.delay,
             Event::Deliver {
@@ -790,6 +822,8 @@ impl Engine {
     /// stale by a reroute), attributing it in the trace and counters.
     fn destroy_frame(&mut self, node: NodeId, port: PortId, pkt: &Packet) {
         self.faults.down_drops += 1;
+        #[cfg(feature = "strict-invariants")]
+        self.ledger.account_drop(DropWhy::LinkDown);
         self.tracer.emit(self.now, || TraceEvent::Drop {
             node: node.0,
             port: port.0,

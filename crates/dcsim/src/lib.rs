@@ -33,6 +33,8 @@
 
 mod config;
 mod engine;
+#[cfg(feature = "strict-invariants")]
+pub mod ledger;
 
 pub use config::{small_single_switch, FlowSpec, SimConfig, SwitchParams, TltSettings};
 pub use engine::{AggregateStats, Engine, SimResult};

@@ -28,6 +28,12 @@ use crate::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
+    /// Strict-invariant auditor: `(time, seq)` of the last popped entry,
+    /// asserted non-decreasing so an `Ord` regression (or heap misuse)
+    /// surfaces at the pop that breaks simulated causality, not as a
+    /// mysteriously different figure three layers up.
+    #[cfg(feature = "strict-invariants")]
+    last_pop: Option<(SimTime, u64)>,
 }
 
 #[derive(Debug)]
@@ -60,6 +66,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            #[cfg(feature = "strict-invariants")]
+            last_pop: None,
         }
     }
 
@@ -68,6 +76,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
             seq: 0,
+            #[cfg(feature = "strict-invariants")]
+            last_pop: None,
         }
     }
 
@@ -86,7 +96,21 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, or `None` when empty.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+        self.heap.pop().map(|Reverse(e)| {
+            #[cfg(feature = "strict-invariants")]
+            {
+                if let Some((t, s)) = self.last_pop {
+                    debug_assert!(
+                        (e.at, e.seq) >= (t, s),
+                        "event queue popped backwards: {:?} after {:?}",
+                        (e.at, e.seq),
+                        (t, s)
+                    );
+                }
+                self.last_pop = Some((e.at, e.seq));
+            }
+            (e.at, e.event)
+        })
     }
 
     /// Timestamp of the earliest pending event, if any.
@@ -195,6 +219,20 @@ mod tests {
                 last = at.as_ns();
             }
         }
+    }
+
+    /// The strict-invariant auditor trips when causality is violated:
+    /// scheduling into the past *after* a later event was already popped
+    /// is exactly the engine bug the audit exists to catch.
+    #[test]
+    #[cfg(feature = "strict-invariants")]
+    #[should_panic(expected = "popped backwards")]
+    fn strict_pop_order_audit_fires_on_time_travel() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), "late");
+        assert!(q.pop().is_some());
+        q.schedule(SimTime::from_ns(5), "time traveler");
+        let _ = q.pop();
     }
 
     /// Every scheduled event is popped exactly once.

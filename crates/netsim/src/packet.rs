@@ -219,7 +219,9 @@ impl Packet {
     pub fn wire_size(&self) -> u32 {
         HEADER_BYTES
             + self.len
+            // simlint: allow(truncation, sack is capped at max_sack_blocks (8))
             + SACK_BLOCK_BYTES * self.sack.len() as u32
+            // simlint: allow(truncation, one INT hop per switch on a <=4-hop path)
             + INT_HOP_BYTES * self.int_stack.len() as u32
     }
 

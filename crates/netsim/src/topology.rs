@@ -614,6 +614,7 @@ mod tests {
     fn ecmp_spreads_over_cores() {
         let t = TopologySpec::paper_leaf_spine(SimTime::from_us(10)).build();
         let hosts = t.hosts().to_vec();
+        // simlint: allow(unordered, insert/len only — never iterated)
         let mut seen = std::collections::HashSet::new();
         for salt in 0..64 {
             let h = Topology::ecmp_hash(hosts[0], hosts[95], salt);
@@ -715,6 +716,7 @@ mod tests {
             let (fwd, rev) = t.pin_paths(hosts[a], hosts[b], h);
             validate_path(&t, &fwd, hosts[a], hosts[b]);
             validate_path(&t, &rev, hosts[b], hosts[a]);
+            // simlint: allow(unordered, insert-only membership check)
             let mut seen = std::collections::HashSet::new();
             for hop in &fwd {
                 assert!(seen.insert(hop.node), "case {case}: loop in path");

@@ -1,0 +1,353 @@
+//! A minimal, comment/string-aware Rust tokenizer.
+//!
+//! The rules in [`crate::rules`] operate on *tokens*, never raw text, so a
+//! `HashMap` mentioned in a doc comment, a `"rand::"` inside a string
+//! literal, or an identifier like `Instantiates` that merely contains a
+//! forbidden name can never produce a finding. The lexer handles the Rust
+//! surface syntax that matters for that guarantee:
+//!
+//! - line comments (`//`) and nested block comments (`/* /* */ */`),
+//! - string, byte-string, and raw-string literals (`r#"…"#`, any `#` count),
+//! - char literals vs lifetimes (`'a'` is a literal, `'a` is a lifetime),
+//! - identifiers, numbers, and single-character punctuation.
+//!
+//! Comments are additionally scanned for suppression pragmas of the form
+//! `// simlint: allow(<rule>, <reason>)`. A pragma covers its own line and
+//! the next line, so it can trail the offending expression or sit above it.
+
+/// Kinds of token the rules distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `fn`, …).
+    Ident,
+    /// Numeric literal (`42`, `0xFF`, `1.5e9`).
+    Num,
+    /// A single punctuation character (`:`, `(`, `{`, `#`, …).
+    Punct,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token text; for `Punct` this is a single character.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Classification.
+    pub kind: TokKind,
+}
+
+/// A `// simlint: allow(<rule>, <reason>)` suppression.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// The rule name inside `allow(…)`, e.g. `unordered`.
+    pub rule: String,
+}
+
+/// A lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens outside comments and literals.
+    pub toks: Vec<Tok>,
+    /// All suppression pragmas found in comments.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl Lexed {
+    /// Whether a pragma for `rule` covers `line` (pragmas cover their own
+    /// line and the one after, so both trailing and preceding placements
+    /// work).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.pragmas
+            .iter()
+            .any(|p| p.rule == rule && (p.line == line || p.line + 1 == line))
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Extracts a pragma from one comment body, if present.
+fn parse_pragma(comment: &str, line: u32, out: &mut Vec<Pragma>) {
+    let Some(at) = comment.find("simlint:") else {
+        return;
+    };
+    let rest = &comment[at + "simlint:".len()..];
+    let rest = rest.trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let end = args.find([',', ')']).unwrap_or(args.len());
+    let rule = args[..end].trim();
+    if !rule.is_empty() {
+        out.push(Pragma {
+            line,
+            rule: rule.to_string(),
+        });
+    }
+}
+
+/// Counts the newlines in `s` (for multi-line literals and comments).
+fn newlines(s: &[u8]) -> u32 {
+    s.iter().filter(|&&b| b == b'\n').count() as u32
+}
+
+/// Skips a (raw/byte) string literal starting at `i` if one starts there.
+/// Returns the index just past the literal, or `None` if `i` does not start
+/// a string literal.
+fn skip_string(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if j < b.len() && b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        // Raw string: r"…" or r#"…"# with any number of hashes.
+        let mut k = j + 1;
+        let mut hashes = 0usize;
+        while k < b.len() && b[k] == b'#' {
+            hashes += 1;
+            k += 1;
+        }
+        if k < b.len() && b[k] == b'"' {
+            k += 1;
+            // Scan for `"` followed by `hashes` hashes.
+            while k < b.len() {
+                if b[k] == b'"'
+                    && b.len() - k > hashes
+                    && b[k + 1..k + 1 + hashes].iter().all(|&h| h == b'#')
+                {
+                    return Some(k + 1 + hashes);
+                }
+                k += 1;
+            }
+            return Some(b.len());
+        }
+        return None;
+    }
+    if j < b.len() && b[j] == b'"' {
+        // Ordinary (possibly byte) string with escapes.
+        let mut k = j + 1;
+        while k < b.len() {
+            match b[k] {
+                b'\\' => k += 2,
+                b'"' => return Some(k + 1),
+                _ => k += 1,
+            }
+        }
+        return Some(b.len());
+    }
+    None
+}
+
+/// Tokenizes `src`.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let len = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < len {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < len && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < len && b[j] != b'\n' {
+                    j += 1;
+                }
+                parse_pragma(&src[start..j], line, &mut out.pragmas);
+                i = j;
+            }
+            b'/' if i + 1 < len && b[i + 1] == b'*' => {
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < len && depth > 0 {
+                    if j + 1 < len && b[j] == b'/' && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < len && b[j] == b'*' && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                parse_pragma(
+                    &src[start..j.saturating_sub(2).max(start)],
+                    line,
+                    &mut out.pragmas,
+                );
+                line += newlines(&b[i..j]);
+                i = j;
+            }
+            b'"' => {
+                let j = skip_string(b, i).expect("quote starts a string");
+                line += newlines(&b[i..j]);
+                i = j;
+            }
+            b'\'' => {
+                if i + 1 < len && b[i + 1] == b'\\' {
+                    // Escaped char literal: scan to the closing quote.
+                    let mut j = i + 2;
+                    while j < len && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                } else if i + 1 < len && is_ident_start(b[i + 1]) {
+                    // `'abc` — lifetime unless a quote closes the run
+                    // (then it was a char literal like 'a').
+                    let mut j = i + 1;
+                    while j < len && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    if j < len && b[j] == b'\'' {
+                        i = j + 1; // char literal
+                    } else {
+                        i = j; // lifetime: skip, rules never need it
+                    }
+                } else {
+                    // Char literal holding punctuation or a multi-byte
+                    // character: scan to the closing quote.
+                    let mut j = i + 1;
+                    while j < len && b[j] != b'\'' {
+                        if b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < len
+                    && (is_ident_cont(b[i])
+                        || (b[i] == b'.' && i + 1 < len && b[i + 1].is_ascii_digit()))
+                {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    text: src[start..i].to_string(),
+                    line,
+                    kind: TokKind::Num,
+                });
+            }
+            _ if is_ident_start(c) => {
+                // A `b`/`r`/`br` prefix may start a (raw) string literal.
+                if matches!(c, b'b' | b'r') {
+                    if let Some(j) = skip_string(b, i) {
+                        line += newlines(&b[i..j]);
+                        i = j;
+                        continue;
+                    }
+                }
+                let start = i;
+                i += 1;
+                while i < len && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    text: src[start..i].to_string(),
+                    line,
+                    kind: TokKind::Ident,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    text: (c as char).to_string(),
+                    line,
+                    kind: TokKind::Punct,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_tokens() {
+        let src = r###"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap in a string";
+            let r = r#"HashMap in a raw "string""#;
+            let c = 'H';
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_tokens() {
+        let ids = idents("fn f<'a>(x: &'a HashMap) {}");
+        assert!(ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"a".to_string()), "lifetime name skipped");
+    }
+
+    #[test]
+    fn char_literals_are_skipped() {
+        let ids = idents("let x = 'h'; let y = '\\n'; let z = '('; foo");
+        assert_eq!(ids, vec!["let", "x", "let", "y", "let", "z", "foo"]);
+    }
+
+    #[test]
+    fn pragma_parsing_and_coverage() {
+        let l = lex("// simlint: allow(unordered, lookup only)\nlet m: HashMap<u8,u8>;\n\nlet n: HashMap<u8,u8>;");
+        assert_eq!(l.pragmas.len(), 1);
+        assert_eq!(l.pragmas[0].rule, "unordered");
+        assert!(l.allowed("unordered", 1));
+        assert!(l.allowed("unordered", 2), "covers the next line");
+        assert!(!l.allowed("unordered", 4), "does not cover later lines");
+        assert!(!l.allowed("truncation", 2), "rule names must match");
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line() {
+        let l = lex("let m = HashMap::new(); // simlint: allow(unordered, never iterated)");
+        assert!(l.allowed("unordered", 1));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* a\nb */\nlet x = \"s\ntring\";\nmarker";
+        let l = lex(src);
+        let m = l.toks.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(m.line, 5);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_operators() {
+        let l = lex("for i in 0..n {}");
+        let texts: Vec<_> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["for", "i", "in", "0", ".", ".", "n", "{", "}"]);
+    }
+}

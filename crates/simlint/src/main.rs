@@ -1,0 +1,29 @@
+//! CLI: `cargo run -p simlint [-- <root>]`. Prints `file:line: rule: message`
+//! diagnostics and exits nonzero when any finding is produced.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args().nth(1).map_or_else(
+        // Default to the workspace root relative to this crate's manifest,
+        // so the gate works regardless of the invoker's working directory.
+        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    );
+    match simlint::lint_root(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("simlint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("simlint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("simlint: error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The determinism & conservation ruleset (D1–D5).
+//!
+//! Scope: the simulation crates (`eventsim`, `netsim`, `transport`, `dcsim`,
+//! `faults`, `workload`, `core`, `stats`) plus the root package's `src/` and
+//! `tests/`. `bench` is exempt (it legitimately reads wall clocks) and
+//! `telemetry` is an output-only layer. Every rule can be suppressed for one
+//! binding with `// simlint: allow(<rule>, <reason>)` on the same or the
+//! preceding line:
+//!
+//! | rule | pragma name  | what it forbids                                   |
+//! |------|--------------|---------------------------------------------------|
+//! | D1   | `unordered`  | `HashMap`/`HashSet` (iteration order is seeded by  |
+//! |      |              | `RandomState`: two runs disagree)                  |
+//! | D2   | `wallclock`  | `Instant`/`SystemTime`/`rand::`/`env::`/thread-id  |
+//! |      |              | reads (outside test regions)                       |
+//! | D3   | `float-order`| `partial_cmp().unwrap()` / float comparators in    |
+//! |      |              | `sort_by`-family calls; use `total_cmp`            |
+//! | D4   | `truncation` | bare `as u8/u16/u32` in the packet/byte-accounting |
+//! |      |              | paths (`netsim::{packet,switch,link}`)             |
+//! | D5   | —            | a `DropWhy` variant with no accounting site in any |
+//! |      |              | file that touches `AggregateStats`                 |
+
+use crate::lexer::{lex, Lexed, TokKind};
+
+/// One diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D1`…`D5`).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Crates the determinism rules apply to.
+const SIM_CRATES: [&str; 8] = [
+    "core",
+    "dcsim",
+    "eventsim",
+    "faults",
+    "netsim",
+    "stats",
+    "transport",
+    "workload",
+];
+
+/// Files whose numeric casts are byte-accounting (rule D4).
+const D4_FILES: [&str; 3] = [
+    "crates/netsim/src/packet.rs",
+    "crates/netsim/src/switch.rs",
+    "crates/netsim/src/link.rs",
+];
+
+/// `stats::percentile` is the one sanctioned float-ordering site (it uses
+/// `total_cmp`, and D3 exists to funnel everything through it).
+const D3_EXEMPT: &str = "crates/stats/src/percentile.rs";
+
+fn crate_of(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+fn in_sim_scope(rel: &str) -> bool {
+    match crate_of(rel) {
+        Some(c) => SIM_CRATES.contains(&c),
+        // The root package's own sources and integration tests drive the
+        // simulator and its determinism assertions.
+        None => rel.starts_with("src/") || rel.starts_with("tests/"),
+    }
+}
+
+/// Whether the whole file is test-only by location.
+fn file_is_test(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/") || rel.contains("/benches/")
+}
+
+/// Line ranges of `#[cfg(test…)] mod … { }` items, found by brace matching.
+fn test_regions(l: &Lexed) -> Vec<(u32, u32)> {
+    let t = &l.toks;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        // An attribute `#[ … ]` containing both `cfg` and `test`.
+        if t[i].text == "#" && i + 1 < t.len() && t[i + 1].text == "[" {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            while j < t.len() && depth > 0 {
+                match t[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    "cfg" => saw_cfg = true,
+                    "test" => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_cfg && saw_test {
+                // Skip any further attributes, then expect `mod name {`.
+                let mut k = j;
+                while k + 1 < t.len() && t[k].text == "#" && t[k + 1].text == "[" {
+                    let mut d = 1usize;
+                    k += 2;
+                    while k < t.len() && d > 0 {
+                        match t[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                if k + 2 < t.len() && t[k].text == "mod" && t[k + 2].text == "{" {
+                    let start = t[i].line;
+                    let mut d = 1usize;
+                    let mut m = k + 3;
+                    while m < t.len() && d > 0 {
+                        match t[m].text.as_str() {
+                            "{" => d += 1,
+                            "}" => d -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    let end = t.get(m.saturating_sub(1)).map_or(u32::MAX, |tk| tk.line);
+                    regions.push((start, end));
+                    i = m;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_test_region(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| (a..=b).contains(&line))
+}
+
+/// D1: unordered containers.
+fn d1(rel: &str, l: &Lexed, out: &mut Vec<Finding>) {
+    for t in &l.toks {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            if l.allowed("unordered", t.line) {
+                continue;
+            }
+            out.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                rule: "D1",
+                msg: format!(
+                    "{} iteration order is randomized per process; use BTreeMap/BTreeSet, \
+                     or add `// simlint: allow(unordered, <reason>)` if it is never iterated",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// D2: wall-clock / entropy / environment reads.
+fn d2(rel: &str, l: &Lexed, regions: &[(u32, u32)], out: &mut Vec<Finding>) {
+    let t = &l.toks;
+    let hit = |line: u32, what: &str, out: &mut Vec<Finding>| {
+        if !l.allowed("wallclock", line) {
+            out.push(Finding {
+                file: rel.to_string(),
+                line,
+                rule: "D2",
+                msg: format!(
+                    "{what} is nondeterministic across runs/hosts; derive everything from \
+                     SimTime and SimRng (seeded)"
+                ),
+            });
+        }
+    };
+    for (i, tok) in t.iter().enumerate() {
+        if tok.kind != TokKind::Ident || in_test_region(regions, tok.line) {
+            continue;
+        }
+        let path_follows =
+            |i: usize| i + 2 < t.len() && t[i + 1].text == ":" && t[i + 2].text == ":";
+        match tok.text.as_str() {
+            "Instant" => hit(tok.line, "std::time::Instant", out),
+            "SystemTime" => hit(tok.line, "std::time::SystemTime", out),
+            "ThreadId" => hit(tok.line, "thread id", out),
+            "rand" if path_follows(i) => hit(tok.line, "the `rand` crate", out),
+            "env" if path_follows(i) => hit(tok.line, "std::env", out),
+            "thread" if path_follows(i) && i + 3 < t.len() && t[i + 3].text == "current" => {
+                hit(tok.line, "std::thread::current()", out)
+            }
+            _ => {}
+        }
+    }
+}
+
+/// D3: float ordering through `partial_cmp`.
+fn d3(rel: &str, l: &Lexed, out: &mut Vec<Finding>) {
+    if rel == D3_EXEMPT {
+        return;
+    }
+    let t = &l.toks;
+    for (i, tok) in t.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        if tok.text == "partial_cmp" {
+            // `fn partial_cmp` — a PartialOrd impl, not a call site.
+            if i > 0 && t[i - 1].text == "fn" {
+                continue;
+            }
+            if l.allowed("float-order", tok.line) {
+                continue;
+            }
+            // Flag `partial_cmp(…).unwrap()` within the same statement.
+            let unwrapped = t[i + 1..]
+                .iter()
+                .take(40)
+                .take_while(|n| n.text != ";")
+                .any(|n| n.text == "unwrap" || n.text == "expect");
+            if unwrapped {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: tok.line,
+                    rule: "D3",
+                    msg: "partial_cmp().unwrap() panics on NaN and hides total-order intent; \
+                          use f64::total_cmp"
+                        .to_string(),
+                });
+            }
+        }
+        if matches!(
+            tok.text.as_str(),
+            "sort_by" | "sort_unstable_by" | "min_by" | "max_by"
+        ) && i + 1 < t.len()
+            && t[i + 1].text == "("
+        {
+            if l.allowed("float-order", tok.line) {
+                continue;
+            }
+            // Scan the argument list for a partial_cmp-based comparator.
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let mut found = false;
+            while j < t.len() && depth > 0 {
+                match t[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "partial_cmp" => found = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if found {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: tok.line,
+                    rule: "D3",
+                    msg: format!(
+                        "{} with a partial_cmp comparator; use f64::total_cmp for a total, \
+                         NaN-stable order",
+                        tok.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// D4: bare truncating casts in byte-accounting paths.
+fn d4(rel: &str, l: &Lexed, regions: &[(u32, u32)], out: &mut Vec<Finding>) {
+    let t = &l.toks;
+    for (i, tok) in t.iter().enumerate() {
+        if tok.text != "as" || tok.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(target) = t.get(i + 1) else { continue };
+        if !matches!(target.text.as_str(), "u8" | "u16" | "u32") {
+            continue;
+        }
+        if in_test_region(regions, tok.line) || l.allowed("truncation", tok.line) {
+            continue;
+        }
+        out.push(Finding {
+            file: rel.to_string(),
+            line: tok.line,
+            rule: "D4",
+            msg: format!(
+                "bare `as {}` silently truncates in a byte-accounting path; use \
+                 `{}::try_from(..)` or add `// simlint: allow(truncation, <bound>)`",
+                target.text, target.text
+            ),
+        });
+    }
+}
+
+/// D5: every `DropWhy` variant must be accounted in at least one file that
+/// also references `AggregateStats` (the run-level counters), so a new drop
+/// reason cannot silently vanish from the books.
+fn d5(files: &[(String, Lexed)], out: &mut Vec<Finding>) {
+    const EVENT_RS: &str = "crates/telemetry/src/event.rs";
+    let Some((_, ev)) = files.iter().find(|(rel, _)| rel == EVENT_RS) else {
+        return; // partial tree (e.g. fixtures): nothing to check against
+    };
+    // Collect the enum's unit variants.
+    let t = &ev.toks;
+    let mut variants: Vec<(String, u32)> = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < t.len() {
+        if t[i].text == "enum" && t[i + 1].text == "DropWhy" && t[i + 2].text == "{" {
+            let mut depth = 1usize;
+            let mut j = i + 3;
+            while j < t.len() && depth > 0 {
+                match t[j].text.as_str() {
+                    "{" | "(" => depth += 1,
+                    "}" | ")" => depth -= 1,
+                    "#" if depth == 1 && j + 1 < t.len() && t[j + 1].text == "[" => {
+                        // Skip attributes on variants.
+                        let mut d = 1usize;
+                        j += 2;
+                        while j < t.len() && d > 0 {
+                            match t[j].text.as_str() {
+                                "[" => d += 1,
+                                "]" => d -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        continue;
+                    }
+                    _ if depth == 1
+                        && t[j].kind == TokKind::Ident
+                        && j + 1 < t.len()
+                        && matches!(t[j + 1].text.as_str(), "," | "}") =>
+                    {
+                        variants.push((t[j].text.clone(), t[j].line));
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    if variants.is_empty() {
+        return;
+    }
+    // Union of `DropWhy::<V>` references across AggregateStats-bearing files.
+    let mut accounted: Vec<&str> = Vec::new();
+    for (_, l) in files {
+        if !l.toks.iter().any(|t| t.text == "AggregateStats") {
+            continue;
+        }
+        let t = &l.toks;
+        for i in 0..t.len().saturating_sub(3) {
+            if t[i].text == "DropWhy" && t[i + 1].text == ":" && t[i + 2].text == ":" {
+                accounted.push(&t[i + 3].text);
+            }
+        }
+    }
+    for (v, line) in &variants {
+        if !accounted.iter().any(|a| a == v) {
+            out.push(Finding {
+                file: EVENT_RS.to_string(),
+                line: *line,
+                rule: "D5",
+                msg: format!(
+                    "DropWhy::{v} has no accounting site: no file referencing AggregateStats \
+                     mentions it, so drops with this reason are invisible in run-level counters"
+                ),
+            });
+        }
+    }
+}
+
+/// Lints a set of `(repo-relative path, source)` files and returns all
+/// findings, sorted by path then line.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    let lexed: Vec<(String, Lexed)> = files
+        .iter()
+        .map(|(rel, src)| (rel.clone(), lex(src)))
+        .collect();
+    let mut out = Vec::new();
+    for (rel, l) in &lexed {
+        if in_sim_scope(rel) {
+            let regions = if file_is_test(rel) {
+                vec![(0, u32::MAX)]
+            } else {
+                test_regions(l)
+            };
+            d1(rel, l, &mut out);
+            d3(rel, l, &mut out);
+            d2(rel, l, &regions, &mut out);
+            if D4_FILES.contains(&rel.as_str()) {
+                d4(rel, l, &regions, &mut out);
+            }
+        }
+    }
+    d5(&lexed, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out.dedup();
+    out
+}

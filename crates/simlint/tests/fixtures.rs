@@ -1,0 +1,275 @@
+//! Fixture tests for the D1–D5 ruleset: one violating and one conforming
+//! fixture per rule, pragma handling, and the lexer traps (rule words inside
+//! strings, comments, and larger identifiers must never fire).
+
+use simlint::{lint_files, Finding};
+
+fn lint(files: &[(&str, &str)]) -> Vec<Finding> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    lint_files(&owned)
+}
+
+fn rules(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_flags_hashmap_in_sim_crate() {
+    let f = lint(&[(
+        "crates/transport/src/tcp.rs",
+        "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n",
+    )]);
+    assert_eq!(rules(&f), ["D1", "D1"]);
+    assert_eq!(f[0].line, 1);
+    assert_eq!(f[1].line, 2);
+    assert_eq!(f[0].file, "crates/transport/src/tcp.rs");
+}
+
+#[test]
+fn d1_pragma_covers_same_and_next_line() {
+    let f = lint(&[(
+        "crates/workload/src/mix.rs",
+        "use std::collections::HashSet; // simlint: allow(unordered, never iterated)\n\
+         // simlint: allow(unordered, membership only)\n\
+         struct S { s: HashSet<u32> }\n",
+    )]);
+    assert!(f.is_empty(), "pragmas suppress both forms: {f:?}");
+}
+
+#[test]
+fn d1_wrong_pragma_rule_does_not_suppress() {
+    let f = lint(&[(
+        "crates/workload/src/mix.rs",
+        "// simlint: allow(wallclock, wrong rule)\nuse std::collections::HashMap;\n",
+    )]);
+    assert_eq!(rules(&f), ["D1"]);
+}
+
+#[test]
+fn d1_ignores_strings_comments_and_larger_identifiers() {
+    let f = lint(&[(
+        "crates/netsim/src/lib.rs",
+        "// A HashMap would be wrong here.\n\
+         /* HashSet too */\n\
+         const DOC: &str = \"uses a HashMap internally\";\n\
+         struct HashMapLike;\n\
+         fn pseudo_hash_map() {}\n",
+    )]);
+    assert!(f.is_empty(), "no token is exactly HashMap/HashSet: {f:?}");
+}
+
+#[test]
+fn d1_out_of_scope_crates_are_exempt() {
+    let src = "use std::collections::HashMap;\n";
+    let f = lint(&[
+        ("crates/bench/src/runner.rs", src),
+        ("crates/telemetry/src/trace.rs", src),
+        ("crates/simlint/src/rules.rs", src),
+    ]);
+    assert!(
+        f.is_empty(),
+        "bench/telemetry/simlint are out of scope: {f:?}"
+    );
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_flags_wallclock_entropy_and_env() {
+    let f = lint(&[(
+        "crates/eventsim/src/time.rs",
+        "fn now() { let t = std::time::Instant::now(); }\n\
+         fn seed() -> u64 { rand::random() }\n\
+         fn cfg() { let v = std::env::var(\"SEED\"); }\n",
+    )]);
+    assert_eq!(rules(&f), ["D2", "D2", "D2"]);
+}
+
+#[test]
+fn d2_skips_cfg_test_modules_and_test_files() {
+    let in_mod = "fn sim() {}\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             fn bench_wall() { let t = std::time::Instant::now(); }\n\
+         }\n";
+    let f = lint(&[
+        ("crates/stats/src/report.rs", in_mod),
+        (
+            "crates/netsim/tests/io.rs",
+            "fn t() { let d = std::env::temp_dir(); }\n",
+        ),
+    ]);
+    assert!(f.is_empty(), "test regions are D2-exempt: {f:?}");
+}
+
+#[test]
+fn d2_does_not_fire_on_identifier_substrings() {
+    let f = lint(&[(
+        "crates/dcsim/src/engine.rs",
+        "/// Instantiates the engine for `cfg`.\n\
+         fn instantiate() { let instant_replay = 3; }\n\
+         struct Environment; // `env` the word, not std::env\n",
+    )]);
+    assert!(f.is_empty(), "token-exact matching required: {f:?}");
+}
+
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_flags_partial_cmp_unwrap_and_float_sorts() {
+    let f = lint(&[(
+        "crates/stats/src/summary.rs",
+        "fn worst(v: &mut [f64]) {\n\
+             v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+             let c = (1.0f64).partial_cmp(&2.0).expect(\"cmp\");\n\
+         }\n",
+    )]);
+    assert_eq!(rules(&f), ["D3", "D3", "D3"]);
+    // Line 2 carries both the sort_by finding and the comparator finding.
+    assert_eq!(f[0].line, 2);
+    assert_eq!(f[2].line, 3);
+}
+
+#[test]
+fn d3_conforming_and_exempt_sites_pass() {
+    let total_cmp = "fn order(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n";
+    let partial_ord_impl =
+        "impl PartialOrd for T { fn partial_cmp(&self, o: &T) -> Option<Ordering> { None } }\n";
+    let exempt = "fn pct(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+    let f = lint(&[
+        ("crates/stats/src/summary.rs", total_cmp),
+        ("crates/eventsim/src/queue.rs", partial_ord_impl),
+        ("crates/stats/src/percentile.rs", exempt),
+    ]);
+    assert!(
+        f.is_empty(),
+        "total_cmp, trait impls, and the percentile module pass: {f:?}"
+    );
+}
+
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_flags_bare_truncation_only_in_byte_accounting_files() {
+    let src = "fn wire(len: usize) -> u32 { len as u32 }\n";
+    let f = lint(&[
+        ("crates/netsim/src/packet.rs", src),
+        ("crates/netsim/src/topology.rs", src), // not a D4 file
+        ("crates/transport/src/tcp.rs", src),   // not a D4 file
+    ]);
+    assert_eq!(rules(&f), ["D4"]);
+    assert_eq!(f[0].file, "crates/netsim/src/packet.rs");
+}
+
+#[test]
+fn d4_widening_casts_and_pragmas_pass() {
+    let f = lint(&[(
+        "crates/netsim/src/switch.rs",
+        "fn a(x: u32) -> u64 { x as u64 }\n\
+         // simlint: allow(truncation, sack is capped at 8 blocks)\n\
+         fn b(n: usize) -> u32 { n as u32 }\n\
+         #[cfg(test)]\n\
+         mod tests { fn c(n: usize) -> u16 { n as u16 } }\n",
+    )]);
+    assert!(
+        f.is_empty(),
+        "widening, pragma'd, and test casts pass: {f:?}"
+    );
+}
+
+// ---------------------------------------------------------------- D5
+
+const EVENT_RS: &str = "crates/telemetry/src/event.rs";
+const DROPWHY: &str = "pub enum DropWhy {\n\
+     /// Dropped by the color gate.\n\
+     #[default]\n\
+     Color,\n\
+     Wire,\n\
+ }\n";
+
+#[test]
+fn d5_flags_unaccounted_variant() {
+    let f = lint(&[
+        (EVENT_RS, DROPWHY),
+        (
+            "crates/dcsim/src/ledger.rs",
+            "fn acct(a: &AggregateStats) { let _ = DropWhy::Color; }\n",
+        ),
+    ]);
+    assert_eq!(rules(&f), ["D5"]);
+    assert!(f[0].msg.contains("DropWhy::Wire"), "{}", f[0].msg);
+    assert_eq!(f[0].file, EVENT_RS);
+}
+
+#[test]
+fn d5_reference_without_aggregate_stats_does_not_count() {
+    let f = lint(&[
+        (EVENT_RS, DROPWHY),
+        (
+            // Mentions both variants but never AggregateStats: not an
+            // accounting site, so both variants are unaccounted.
+            "crates/dcsim/src/trace.rs",
+            "fn show() { let _ = (DropWhy::Color, DropWhy::Wire); }\n",
+        ),
+    ]);
+    assert_eq!(rules(&f), ["D5", "D5"]);
+}
+
+#[test]
+fn d5_fully_accounted_enum_passes() {
+    let f = lint(&[
+        (EVENT_RS, DROPWHY),
+        (
+            "crates/dcsim/src/ledger.rs",
+            "fn acct(a: &AggregateStats) { match w { DropWhy::Color => 0, DropWhy::Wire => 1 }; }\n",
+        ),
+    ]);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn d5_is_silent_on_partial_trees() {
+    // Fixture sets without telemetry/src/event.rs (like most of this file)
+    // must not fabricate findings.
+    let f = lint(&[("crates/dcsim/src/engine.rs", "fn run() {}\n")]);
+    assert!(f.is_empty());
+}
+
+// ---------------------------------------------------------------- misc
+
+#[test]
+fn findings_format_as_file_line_rule() {
+    let f = lint(&[(
+        "crates/netsim/src/switch.rs",
+        "use std::collections::HashMap;\n",
+    )]);
+    let s = f[0].to_string();
+    assert!(
+        s.starts_with("crates/netsim/src/switch.rs:1: D1: "),
+        "diagnostic format is file:line: rule: msg, got {s}"
+    );
+}
+
+#[test]
+fn findings_are_sorted_and_deduped() {
+    let f = lint(&[
+        (
+            "crates/workload/src/mix.rs",
+            "use std::collections::HashMap;\nfn t() { let i = std::time::Instant::now(); }\n",
+        ),
+        (
+            "crates/eventsim/src/rng.rs",
+            "use std::collections::HashSet;\n",
+        ),
+    ]);
+    assert_eq!(rules(&f), ["D1", "D1", "D2"]);
+    assert_eq!(f[0].file, "crates/eventsim/src/rng.rs");
+    let mut sorted = f.clone();
+    sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    assert_eq!(f, sorted);
+}

@@ -11,7 +11,7 @@ use netsim::packet::Packet;
 
 /// Logical timers a transport may arm. Each kind is a separate slot: arming
 /// a kind again moves that timer; cancelling clears it.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum TimerKind {
     /// Retransmission timeout.
     Rto,

@@ -118,8 +118,10 @@ pub struct WindowSender<C: CongestionControl> {
     rtt_sample_count: u64,
     /// Monotone transmission counter (TLT loss barrier).
     tx_counter: u64,
-    /// Last *full* transmission order per in-window segment index.
-    tx_order: std::collections::HashMap<u64, u64>,
+    /// Last *full* transmission order per in-window segment index. Keyed by
+    /// segment index in a `BTreeMap`: `retain` iterates it, and ordered
+    /// iteration keeps the sender byte-deterministic (simlint rule D1).
+    tx_order: std::collections::BTreeMap<u64, u64>,
     /// Order of the important packet currently in flight.
     last_important_order: u64,
     /// Barrier learned from the latest important echo: everything fully
@@ -164,7 +166,7 @@ impl<C: CongestionControl> WindowSender<C> {
             seg_first_tx: vec![SimTime::MAX; segs],
             rtt_sample_count: 0,
             tx_counter: 0,
-            tx_order: std::collections::HashMap::new(),
+            tx_order: std::collections::BTreeMap::new(),
             last_important_order: 0,
             echo_barrier: None,
             tracer: telemetry::Tracer::off(),

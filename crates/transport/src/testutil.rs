@@ -5,7 +5,8 @@
 //! drops and CE marking — without a network, so transport tests stay fast
 //! and deterministic.
 
-use std::collections::HashMap;
+// simlint: allow(unordered, drop-plan maps are keyed lookups, never iterated)
+use std::collections::{BTreeMap, HashMap};
 
 use eventsim::{EventQueue, SimTime};
 use netsim::packet::{Direction, Packet, PacketKind};
@@ -17,7 +18,9 @@ use crate::iface::{Action, Ctx, FlowReceiver, FlowSender, TimerKind};
 #[derive(Clone, Debug, Default)]
 pub struct DropPlan {
     /// (is_data, seq) -> number of future transmissions to drop.
+    // simlint: allow(unordered, entry/get lookups only — never iterated)
     drops: HashMap<(bool, u64), u32>,
+    // simlint: allow(unordered, entry/get lookups only — never iterated)
     seen: HashMap<(bool, u64), u32>,
 }
 
@@ -109,7 +112,9 @@ impl Harness {
         max: SimTime,
     ) -> RunResult {
         let mut events: EventQueue<Ev> = EventQueue::new();
-        let mut timers: HashMap<TimerKind, SimTime> = HashMap::new();
+        // Ordered map: `min_by_key` iterates it, and equal-deadline ties must
+        // resolve by slot order, not hash order.
+        let mut timers: BTreeMap<TimerKind, SimTime> = BTreeMap::new();
         let mut now = SimTime::ZERO;
         let mut delivered = 0u64;
         let mut completion_time = SimTime::ZERO;
@@ -198,7 +203,7 @@ impl Harness {
         actions: &mut Vec<Action>,
         now: SimTime,
         events: &mut EventQueue<Ev>,
-        timers: &mut HashMap<TimerKind, SimTime>,
+        timers: &mut BTreeMap<TimerKind, SimTime>,
     ) {
         for a in actions.drain(..) {
             match a {

@@ -228,7 +228,7 @@ mod tests {
         assert!(!fg.is_empty());
         // Group by start time: each group is senders x flows_per_sender
         // flows toward one receiver.
-        let mut by_start: std::collections::HashMap<u64, Vec<&&FlowSpec>> = Default::default();
+        let mut by_start: std::collections::BTreeMap<u64, Vec<&&FlowSpec>> = Default::default();
         for f in &fg {
             by_start.entry(f.start.as_ns()).or_default().push(f);
         }

@@ -1,0 +1,87 @@
+//! Golden-value regression tests for the D1 determinism fixes.
+//!
+//! `WindowSender::tx_order` and the workload mix's incast grouping were
+//! rebuilt on `BTreeMap` (simlint rule D1: no `HashMap` in sim crates
+//! without a never-iterated pragma). These tests pin the *exact* aggregate
+//! counters and workload fingerprint captured on the `HashMap` tree, so the
+//! swap is proven behavior-preserving byte for byte — and any future change
+//! that perturbs scheduling or generation order fails loudly.
+
+use dcsim::{small_single_switch, Engine, FlowSpec, SimConfig};
+use eventsim::SimTime;
+use transport::TransportKind;
+use workload::{standard_mix, FlowSizeCdf, MixParams};
+
+/// A TLT incast that exercises `tx_order` heavily: color drops force
+/// important ACK-clocking, whose loss barrier reads/retains the map.
+fn tlt_incast() -> dcsim::SimResult {
+    let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+        .with_topology(small_single_switch(17))
+        .with_tlt()
+        .with_seed(11);
+    cfg.switch.buffer_bytes = 400_000;
+    cfg.switch.color_threshold = Some(80_000);
+    let flows: Vec<FlowSpec> = (1..17)
+        .flat_map(|s| {
+            [
+                FlowSpec::new(s, 0, 24_000, SimTime::ZERO, true),
+                FlowSpec::new(s, 0, 24_000, SimTime::from_us(2), true),
+            ]
+        })
+        .collect();
+    Engine::new(cfg, flows).run()
+}
+
+#[test]
+fn tx_order_btreemap_swap_preserves_aggregate_stats() {
+    // Golden values recorded before the HashMap -> BTreeMap swap.
+    let res = tlt_incast();
+    let a = &res.agg;
+    assert_eq!(a.timeouts, 0);
+    assert_eq!(a.fast_retx, 227);
+    assert_eq!(a.data_pkts_sent, 795);
+    assert_eq!(a.important_pkts, 207);
+    assert_eq!(a.unimportant_pkts, 588);
+    assert_eq!(a.clocking_pkts, 24);
+    assert_eq!(a.clocking_bytes, 24);
+    assert_eq!(a.drops_color, 227);
+    assert_eq!(a.drops_dt, 0);
+    assert_eq!(a.drops_overflow, 0);
+    assert_eq!(a.drops_green_data, 0);
+    assert_eq!(a.green_data_pkts, 200);
+    assert_eq!(a.ce_marked, 0);
+    assert_eq!(a.duration, SimTime::from_ns(422_282));
+}
+
+#[test]
+fn tx_order_btreemap_swap_is_run_to_run_deterministic() {
+    let a = tlt_incast();
+    let b = tlt_incast();
+    assert_eq!(format!("{:?}", a.agg), format!("{:?}", b.agg));
+    for (x, y) in a.flows.iter().zip(b.flows.iter()) {
+        assert_eq!(x.end, y.end);
+        assert_eq!(x.retx, y.retx);
+    }
+}
+
+#[test]
+fn standard_mix_fingerprint_unchanged_by_btreemap_swap() {
+    // Order-sensitive FNV-style fold over every generated flow; recorded
+    // before the `by_start` grouping moved to BTreeMap.
+    let mut p = MixParams::reduced(400);
+    p.seed = 5;
+    let flows = standard_mix(&FlowSizeCdf::web_search(), p);
+    assert_eq!(flows.len(), 4536);
+    assert_eq!(flows.iter().map(|f| f.bytes).sum::<u64>(), 564_957_318);
+    let fp: u64 = flows.iter().enumerate().fold(0u64, |acc, (i, f)| {
+        acc.wrapping_mul(0x100000001B3).wrapping_add(
+            f.bytes
+                ^ f.start.as_ns()
+                ^ ((f.src as u64) << 32)
+                ^ (f.dst as u64)
+                ^ ((f.fg as u64) << 63)
+                ^ i as u64,
+        )
+    });
+    assert_eq!(fp, 0x7ed1624ea0934bca);
+}
