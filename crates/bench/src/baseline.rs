@@ -16,6 +16,7 @@ use workload::{incast_burst, standard_mix, FlowSizeCdf};
 
 use crate::plan::{PlanOutput, RunPlan};
 use crate::runner::{self, Args, SchemeResult, TcpVariant};
+use crate::simprof;
 
 /// Measurements of one workload at one worker count.
 struct Timed {
@@ -64,6 +65,9 @@ pub struct SuiteReport {
     pub seeds: u64,
     /// Per-workload measurements.
     pub workloads: Vec<WorkloadReport>,
+    /// `simprof` per-phase wall-time totals (empty unless the bench crate
+    /// was built with `--features simprof`).
+    pub profile: Vec<(String, simprof::PhaseTotals)>,
 }
 
 impl SuiteReport {
@@ -134,6 +138,23 @@ impl SuiteReport {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str(&format!("  \"simprof\": {},\n", simprof::enabled()));
+        if !self.profile.is_empty() {
+            s.push_str("  \"phases\": [\n");
+            for (i, (label, t)) in self.profile.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"phase\": \"{}\", \"calls\": {}, \"wall_ms\": {:.3}, \
+                     \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+                    label,
+                    t.calls,
+                    t.wall_ms,
+                    t.events,
+                    t.events_per_sec(),
+                    if i + 1 < self.profile.len() { "," } else { "" },
+                ));
+            }
+            s.push_str("  ],\n");
+        }
         s.push_str(&format!(
             "  \"total\": {{\"wall_ms_jobs1\": {:.3}, \"wall_ms_jobsn\": {:.3}, \
              \"speedup\": {:.3}, \"deterministic\": {}}}\n",
@@ -248,12 +269,15 @@ fn results_equal(a: &[SchemeResult], b: &[SchemeResult]) -> bool {
 
 fn timed(name: &str, args: &Args, jobs: usize) -> Timed {
     let plan = build(name, args, jobs);
-    let start = Instant::now();
-    let out = plan.run_detailed();
-    Timed {
-        wall_ms: start.elapsed().as_secs_f64() * 1e3,
-        out,
-    }
+    let (out, wall_ms) = {
+        let mut prof = simprof::scope(format!("{name}/jobs{jobs}"));
+        let start = Instant::now();
+        let out = plan.run_detailed();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        prof.add_events(out.events_scheduled);
+        (out, wall_ms)
+    };
+    Timed { wall_ms, out }
 }
 
 /// Runs the whole suite: every workload sequentially and at
@@ -294,6 +318,7 @@ pub fn run_suite(args: &Args) -> SuiteReport {
         },
         seeds: args.seeds,
         workloads,
+        profile: simprof::report(),
     }
 }
 
@@ -326,6 +351,14 @@ mod tests {
                 events_scheduled: 123_456,
                 deterministic: true,
             }],
+            profile: vec![(
+                "tcp_family_mix/jobs1".to_string(),
+                simprof::PhaseTotals {
+                    wall_ms: 100.0,
+                    calls: 1,
+                    events: 123_456,
+                },
+            )],
         };
         let json = report.to_json();
         for key in [
@@ -335,6 +368,10 @@ mod tests {
             "\"speedup\": 2.500",
             "\"events_scheduled\": 123456",
             "\"deterministic\": true",
+            "\"simprof\":",
+            "\"phases\": [",
+            "\"phase\": \"tcp_family_mix/jobs1\"",
+            "\"events_per_sec\": 1234560",
             "\"total\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -51,6 +51,12 @@ fn main() {
         report.total_speedup()
     );
 
+    let prof = bench::simprof::render();
+    if !prof.is_empty() {
+        println!();
+        print!("{prof}");
+    }
+
     let path = args.out.as_deref().unwrap_or("BENCH_pr2.json");
     std::fs::write(path, report.to_json()).expect("write baseline report");
     eprintln!("wrote {path}");

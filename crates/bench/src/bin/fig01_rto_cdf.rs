@@ -37,9 +37,9 @@ fn main() {
         println!(
             "{label:>8}: n={:<8} p50={:9.1}us p90={:9.1}us p99={:9.1}us max={:9.1}us",
             s.len(),
-            s.percentile(50.0) * 1e6,
-            s.percentile(90.0) * 1e6,
-            s.percentile(99.0) * 1e6,
+            s.percentile(50.0).unwrap_or(0.0) * 1e6,
+            s.percentile(90.0).unwrap_or(0.0) * 1e6,
+            s.percentile(99.0).unwrap_or(0.0) * 1e6,
             s.max() * 1e6,
         );
         for (v, q) in s.cdf(40) {
@@ -56,7 +56,7 @@ fn main() {
     println!(
         "\nfraction of fg flows with RTO > 1.1ms: {:.1}%  (fg RTT p90 = {:.0}us)",
         100.0 * (1.0 - cdf_at(&mut fg_rto, 1.1e-3)),
-        fg_rtt.percentile(90.0) * 1e6
+        fg_rtt.percentile(90.0).unwrap_or(0.0) * 1e6
     );
     runner::maybe_csv(&args, &["series", "value_us", "quantile"], &rows);
 }

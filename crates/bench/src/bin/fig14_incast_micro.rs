@@ -86,9 +86,9 @@ fn main() {
         println!(
             "{:>8}: p50={:8.3}ms p90={:8.3}ms p99={:8.3}ms max={:8.3}ms",
             v.label(),
-            fcts.percentile(50.0),
-            fcts.percentile(90.0),
-            fcts.percentile(99.0),
+            fcts.percentile(50.0).unwrap_or(0.0),
+            fcts.percentile(90.0).unwrap_or(0.0),
+            fcts.percentile(99.0).unwrap_or(0.0),
             fcts.max()
         );
     }

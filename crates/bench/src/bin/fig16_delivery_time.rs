@@ -42,9 +42,9 @@ fn main() {
         let name = if tlt { "DCTCP+TLT" } else { "DCTCP" };
         println!(
             "{name:>12}: p50={:9.1}us p99={:9.1}us p99.9={:9.1}us max={:9.1}us (n={})",
-            all.percentile(50.0) * 1e6,
-            all.percentile(99.0) * 1e6,
-            all.percentile(99.9) * 1e6,
+            all.percentile(50.0).unwrap_or(0.0) * 1e6,
+            all.percentile(99.0).unwrap_or(0.0) * 1e6,
+            all.percentile(99.9).unwrap_or(0.0) * 1e6,
             all.max() * 1e6,
             all.len()
         );

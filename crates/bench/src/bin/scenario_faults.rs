@@ -226,4 +226,36 @@ mod tests {
             "every TLT flow completes despite the flap"
         );
     }
+
+    /// Forensics acceptance over the whole grid: every RTO any (scenario,
+    /// scheme) cell takes is attributed — one forensic record per timeout,
+    /// per-cause counts summing to the RTO total, and never `Unknown`.
+    #[test]
+    fn every_rto_in_the_suite_has_a_known_root_cause() {
+        use telemetry::RtoCause;
+        for (scenario, faults) in scenarios() {
+            for (tname, kind) in KINDS {
+                for tlt in [false, true] {
+                    let cfg = scenario_cfg(kind, tlt, faults.clone()).with_seed(1);
+                    let res = Engine::new(cfg, scenario_flows()).run();
+                    let cell = format!("{scenario}/{tname}{}", if tlt { "+tlt" } else { "" });
+                    assert_eq!(
+                        res.forensics.len() as u64,
+                        res.agg.timeouts,
+                        "{cell}: one forensic record per RTO"
+                    );
+                    assert_eq!(
+                        res.agg.rto_causes.total(),
+                        res.agg.timeouts,
+                        "{cell}: per-cause counts must sum to the RTO total"
+                    );
+                    assert_eq!(
+                        res.agg.rto_causes.get(RtoCause::Unknown),
+                        0,
+                        "{cell}: every RTO must carry a known root cause"
+                    );
+                }
+            }
+        }
+    }
 }

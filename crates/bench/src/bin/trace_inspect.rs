@@ -2,8 +2,12 @@
 //!
 //! Reads a JSONL trace produced by any experiment binary's `--trace` flag,
 //! summarizes every `run_start`/`run_end` bracket — per-switch drop-reason
-//! tables, PFC pause timeline, event counts — and cross-checks the counted
-//! events against the totals the producer declared in `run_end`.
+//! tables, RTO root-cause attribution, PFC pause timeline, event counts —
+//! and cross-checks the counted events against the totals the producer
+//! declared in `run_end`.
+//!
+//! `--metrics <file>` additionally (or instead) renders a metrics-registry
+//! export produced by the experiment binaries' `--metrics` flag.
 //!
 //! Exit status: 0 when every run is internally consistent, 1 when any run's
 //! counted events disagree with its declared totals (or the file contains
@@ -13,25 +17,38 @@ use std::fs::File;
 use std::io::BufReader;
 
 use telemetry::inspect::inspect_reader;
+use telemetry::Registry;
+
+const USAGE: &str = "usage: trace_inspect [--metrics metrics.json] <trace.jsonl>...";
 
 fn main() {
     let mut paths: Vec<String> = Vec::new();
-    for a in std::env::args().skip(1) {
+    let mut metrics: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--help" | "-h" => {
-                eprintln!("usage: trace_inspect <trace.jsonl>...");
+                eprintln!("{USAGE}");
                 std::process::exit(0);
+            }
+            "--metrics" => {
+                let Some(path) = args.next() else {
+                    eprintln!("error: --metrics needs a file argument");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                };
+                metrics.push(path);
             }
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other}");
-                eprintln!("usage: trace_inspect <trace.jsonl>...");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
             path => paths.push(path.to_string()),
         }
     }
-    if paths.is_empty() {
-        eprintln!("usage: trace_inspect <trace.jsonl>...");
+    if paths.is_empty() && metrics.is_empty() {
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
 
@@ -50,6 +67,18 @@ fn main() {
         }
         print!("{}", report.render());
         clean &= report.is_clean();
+    }
+    for path in &metrics {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open {path}: {e}");
+            std::process::exit(2);
+        });
+        let reg = Registry::from_json(&text).unwrap_or_else(|| {
+            eprintln!("error: cannot parse {path}: not a metrics-registry export");
+            std::process::exit(2);
+        });
+        println!("### metrics {path}");
+        print!("{}", reg.render());
     }
     std::process::exit(if clean { 0 } else { 1 });
 }

@@ -22,3 +22,4 @@
 pub mod baseline;
 pub mod plan;
 pub mod runner;
+pub mod simprof;

@@ -21,6 +21,7 @@ use std::sync::Mutex;
 
 use dcsim::{FlowSpec, SimConfig};
 use eventsim::SimTime;
+use telemetry::Registry;
 
 use crate::runner::{self, Args, MixOutcome, SchemeResult};
 
@@ -36,6 +37,7 @@ struct SchemeSpec<'a> {
 struct JobOut {
     outcome: MixOutcome,
     trace: Option<Vec<u8>>,
+    metrics: Option<Registry>,
 }
 
 /// Everything a finished plan knows beyond the per-scheme metrics.
@@ -46,6 +48,10 @@ pub struct PlanOutput {
     /// was off). When a global trace file is installed these bytes have
     /// already been appended to it.
     pub trace: Vec<u8>,
+    /// Metrics registries of every job, merged in plan order (`None` when
+    /// metrics were off). When a global `--metrics` export is installed the
+    /// merge has already been folded into it.
+    pub metrics: Option<Registry>,
     /// Simulator events scheduled, summed over every job.
     pub events_scheduled: u64,
     /// Number of (scheme, seed) jobs executed.
@@ -60,6 +66,7 @@ pub struct RunPlan<'a> {
     jobs: usize,
     default_seeds: u64,
     capture_trace: Option<Option<SimTime>>,
+    capture_metrics: bool,
 }
 
 impl<'a> RunPlan<'a> {
@@ -77,6 +84,7 @@ impl<'a> RunPlan<'a> {
             jobs: jobs.max(1),
             default_seeds,
             capture_trace: None,
+            capture_metrics: false,
         }
     }
 
@@ -85,6 +93,14 @@ impl<'a> RunPlan<'a> {
     /// `--trace-sample-ns`). Used by determinism tests.
     pub fn capture_trace(mut self, sample_ns: Option<u64>) -> RunPlan<'a> {
         self.capture_trace = Some(sample_ns.map(SimTime::from_ns));
+        self
+    }
+
+    /// Forces metrics-registry capture into the returned [`PlanOutput`] even
+    /// when no global `--metrics` export is installed. Used by determinism
+    /// tests.
+    pub fn capture_metrics(mut self) -> RunPlan<'a> {
+        self.capture_metrics = true;
         self
     }
 
@@ -146,6 +162,8 @@ impl<'a> RunPlan<'a> {
             (None, Some(sample)) => (true, sample),
             (None, None) => (false, None),
         };
+        let metrics_global = runner::metrics_on();
+        let metrics_on = metrics_global || self.capture_metrics;
 
         let jobs: Vec<(usize, u64)> = self
             .schemes
@@ -159,10 +177,13 @@ impl<'a> RunPlan<'a> {
             let spec = &self.schemes[si];
             let cfg = (spec.make_cfg)(seed).with_seed(seed);
             let flows = (spec.make_flows)(seed);
-            let (res, trace) = runner::buffered_run(&spec.name, cfg, flows, trace_on, sample_every);
+            let (mut res, trace) =
+                runner::buffered_run(&spec.name, cfg, flows, trace_on, sample_every, metrics_on);
+            let metrics = res.metrics.take();
             JobOut {
                 outcome: MixOutcome::from_result(res),
                 trace,
+                metrics,
             }
         };
 
@@ -198,6 +219,7 @@ impl<'a> RunPlan<'a> {
             })
             .collect();
         let mut trace = Vec::new();
+        let mut merged = metrics_on.then(Registry::new);
         let mut events_scheduled = 0u64;
         for (slot, &(si, _seed)) in slots.iter().zip(&jobs) {
             let out = slot.lock().unwrap().take().expect("every job completed");
@@ -206,13 +228,22 @@ impl<'a> RunPlan<'a> {
             if let Some(b) = &out.trace {
                 trace.extend_from_slice(b);
             }
+            if let (Some(m), Some(r)) = (&mut merged, &out.metrics) {
+                m.merge(r);
+            }
         }
         if global.is_some() {
             runner::append_trace(&trace);
         }
+        if metrics_global {
+            if let Some(m) = &merged {
+                runner::merge_metrics(m);
+            }
+        }
         PlanOutput {
             results,
             trace,
+            metrics: merged,
             events_scheduled,
             jobs_run: jobs.len(),
             workers,
@@ -273,6 +304,46 @@ mod tests {
         let par = tiny_plan(3).capture_trace(None).run_detailed();
         assert!(!seq.trace.is_empty());
         assert_eq!(seq.trace, par.trace, "trace bytes differ under --jobs");
+    }
+
+    #[test]
+    fn captured_metrics_are_byte_identical_across_jobs_and_runs() {
+        let run = |jobs: usize| {
+            tiny_plan(jobs)
+                .capture_metrics()
+                .run_detailed()
+                .metrics
+                .expect("metrics captured")
+                .to_json()
+        };
+        let seq = run(1);
+        let par = run(4);
+        let again = run(4);
+        assert!(!seq.is_empty());
+        assert!(seq.contains("rto_cause_"), "RTO attribution exported");
+        assert!(
+            seq.contains("port_queue_bytes/"),
+            "queue histograms exported"
+        );
+        assert_eq!(seq, par, "metrics JSON differs under --jobs");
+        assert_eq!(par, again, "metrics JSON differs across identical runs");
+    }
+
+    #[test]
+    fn captured_metrics_round_trip_and_merge_count_all_jobs() {
+        let out = tiny_plan(2).capture_metrics().run_detailed();
+        let merged = out.metrics.expect("metrics captured");
+        let parsed = Registry::from_json(&merged.to_json()).expect("self-parse");
+        assert_eq!(parsed, merged, "JSON round trip is lossless");
+        // The merged registry sums every (scheme, seed) job: RTO counts
+        // across all jobs equal the plan's per-scheme totals.
+        let total: u64 = out
+            .results
+            .iter()
+            .map(|r| r.timeouts_total.values().iter().sum::<f64>() as u64)
+            .sum();
+        assert_eq!(merged.counter("timeouts"), total);
+        assert!(merged.counter("data_pkts_sent") > 0);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use eventsim::SimTime;
 use netsim::topology::TopologySpec;
 use netsim::LinkSpec;
 use netstats::{summarize_flows, FctSummary, Metric};
-use telemetry::{BufferSink, TraceEvent, Tracer};
+use telemetry::{BufferSink, Registry, TraceEvent, Tracer};
 use transport::{RtoMode, TransportKind};
 use workload::MixParams;
 
@@ -39,6 +39,9 @@ pub struct Args {
     pub trace: Option<String>,
     /// Per-port telemetry sampling period in nanoseconds (with `--trace`).
     pub trace_sample_ns: Option<u64>,
+    /// Optional metrics-registry export path (`.csv` for CSV, JSON
+    /// otherwise).
+    pub metrics: Option<String>,
 }
 
 impl Default for Args {
@@ -51,6 +54,7 @@ impl Default for Args {
             out: None,
             trace: None,
             trace_sample_ns: None,
+            metrics: None,
         }
     }
 }
@@ -70,6 +74,9 @@ impl Args {
         };
         if let Some(path) = &args.trace {
             init_trace(path, args.trace_sample_ns);
+        }
+        if let Some(path) = &args.metrics {
+            init_metrics(path);
         }
         args
     }
@@ -105,6 +112,9 @@ impl Args {
                 }
                 "--trace-sample-ns" => {
                     args.trace_sample_ns = Some(parse_positive(it.next(), "--trace-sample-ns")?);
+                }
+                "--metrics" => {
+                    args.metrics = Some(it.next().ok_or("--metrics needs a path")?);
                 }
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown flag {other}")),
@@ -154,7 +164,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--full] [--quick] [--seeds N] [--jobs N] [--out file.csv] \
-         [--trace file.jsonl] [--trace-sample-ns N]"
+         [--trace file.jsonl] [--trace-sample-ns N] [--metrics file.json]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -208,9 +218,60 @@ pub(crate) fn append_trace(bytes: &[u8]) {
     }
 }
 
+/// Process-wide metrics export installed by [`init_metrics`]: the merged
+/// registry plus its output path. The file is rewritten after every merge,
+/// so at any instant it holds a valid document covering every run so far.
+struct MetricsOut {
+    path: String,
+    reg: Registry,
+}
+
+static METRICS: Mutex<Option<MetricsOut>> = Mutex::new(None);
+
+/// Routes every subsequent simulation's metrics registry into `path`
+/// (written as CSV when the path ends in `.csv`, pretty JSON otherwise).
+/// Registries merge deterministically — counters sum, gauges take the max,
+/// histograms add bucket-wise — in plan order, so the exported file is
+/// byte-identical under any `--jobs` value.
+///
+/// [`Args::parse`] calls this when `--metrics` is present.
+pub fn init_metrics(path: &str) {
+    let mut state = MetricsOut {
+        path: path.to_string(),
+        reg: Registry::new(),
+    };
+    write_metrics(&mut state);
+    *METRICS.lock().unwrap() = Some(state);
+}
+
+/// Whether a metrics export is installed.
+pub(crate) fn metrics_on() -> bool {
+    METRICS.lock().unwrap().is_some()
+}
+
+/// Merges one run's (or one plan's) registry into the installed export and
+/// rewrites the file. No-op when `--metrics` is off.
+pub(crate) fn merge_metrics(reg: &Registry) {
+    if let Some(state) = METRICS.lock().unwrap().as_mut() {
+        state.reg.merge(reg);
+        write_metrics(state);
+    }
+}
+
+fn write_metrics(state: &mut MetricsOut) {
+    let body = if state.path.ends_with(".csv") {
+        state.reg.to_csv()
+    } else {
+        state.reg.to_json()
+    };
+    std::fs::write(&state.path, body)
+        .unwrap_or_else(|e| usage(&format!("cannot write metrics file {}: {e}", state.path)));
+}
+
 /// Runs one simulation, recording it into a private buffer when `trace` is
-/// on. Each traced run is bracketed by `run_start` (with `label` and the
-/// config's seed) and `run_end` (with the producer's own aggregate totals),
+/// on and populating [`SimResult::metrics`] when `metrics` is on. Each
+/// traced run is bracketed by `run_start` (with `label` and the config's
+/// seed) and `run_end` (with the producer's own aggregate totals),
 /// making the trace self-verifying for `trace_inspect`.
 ///
 /// This is the thread-agnostic core: it touches no global state, so
@@ -222,20 +283,24 @@ pub(crate) fn buffered_run(
     flows: Vec<FlowSpec>,
     trace: bool,
     sample_every: Option<SimTime>,
+    metrics: bool,
 ) -> (SimResult, Option<Vec<u8>>) {
-    if !trace {
-        return (Engine::new(cfg, flows).run(), None);
-    }
-    if cfg.trace_sample_every.is_none() {
+    if trace && cfg.trace_sample_every.is_none() {
         cfg.trace_sample_every = sample_every;
     }
     let seed = cfg.seed;
+    let mut eng = Engine::new(cfg, flows);
+    if metrics {
+        eng.set_metrics();
+    }
+    if !trace {
+        return (eng.run(), None);
+    }
     let (tracer, sink) = Tracer::new(BufferSink::new());
     tracer.emit(SimTime::ZERO, || TraceEvent::RunStart {
         label: label.to_string(),
         seed,
     });
-    let mut eng = Engine::new(cfg, flows);
     eng.set_tracer(tracer.clone());
     let res = eng.run();
     tracer.emit(res.agg.duration, || TraceEvent::RunEnd {
@@ -246,6 +311,7 @@ pub(crate) fn buffered_run(
         down_drops: res.agg.down_drops,
         pause_frames: res.agg.pause_frames,
         timeouts: res.agg.timeouts,
+        rto_causes: res.agg.rto_causes,
     });
     let bytes = sink.borrow_mut().take_bytes();
     (res, Some(bytes))
@@ -253,8 +319,9 @@ pub(crate) fn buffered_run(
 
 /// Runs one simulation, recording it to the flight recorder when one is
 /// installed ([`init_trace`]), and appends its events to the trace file
-/// immediately. Sequential convenience for bespoke experiment loops; grids
-/// should go through a [`RunPlan`].
+/// immediately; likewise the metrics export ([`init_metrics`]). Sequential
+/// convenience for bespoke experiment loops; grids should go through a
+/// [`RunPlan`].
 pub fn traced_run(label: &str, cfg: SimConfig, flows: Vec<FlowSpec>) -> SimResult {
     let sample_every = trace_config();
     let (res, bytes) = buffered_run(
@@ -263,9 +330,13 @@ pub fn traced_run(label: &str, cfg: SimConfig, flows: Vec<FlowSpec>) -> SimResul
         flows,
         sample_every.is_some(),
         sample_every.flatten(),
+        metrics_on(),
     );
     if let Some(b) = bytes {
         append_trace(&b);
+    }
+    if let Some(r) = &res.metrics {
+        merge_metrics(r);
     }
     res
 }
@@ -441,7 +512,8 @@ impl SchemeResult {
         self.clocking_kb.add(o.agg.clocking_bytes as f64 / 1e3);
         self.max_queue_kb.add(o.agg.max_queue_bytes as f64 / 1e3);
         let mut qs = o.agg.queue_samples.clone();
-        self.median_queue_kb.add(qs.percentile(50.0) / 1e3);
+        self.median_queue_kb
+            .add(qs.percentile(50.0).unwrap_or(0.0) / 1e3);
         self.timeouts_total.add(o.agg.timeouts as f64);
         self.fast_retx_total.add(o.agg.fast_retx as f64);
         self.down_drops.add(o.agg.down_drops as f64);
@@ -530,6 +602,8 @@ mod tests {
             "t.jsonl",
             "--trace-sample-ns",
             "1000",
+            "--metrics",
+            "m.json",
         ])
         .unwrap();
         assert!(a.full);
@@ -539,6 +613,7 @@ mod tests {
         assert_eq!(a.out.as_deref(), Some("x.csv"));
         assert_eq!(a.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(a.trace_sample_ns, Some(1000));
+        assert_eq!(a.metrics.as_deref(), Some("m.json"));
     }
 
     /// Regression: `--seeds 0` used to be accepted, making the `1..=0`

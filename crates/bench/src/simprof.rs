@@ -1,0 +1,198 @@
+//! Feature-gated wall-clock scope profiler for the *harness* layer.
+//!
+//! The simulation crates are forbidden from reading wall time (simlint rule
+//! D2 — determinism), but the bench harness legitimately wants to know where
+//! real time goes: which workload phase dominates `bench_baseline`, and how
+//! many simulator events per wall-second each phase sustains. This module
+//! provides that without contaminating the simulation: it is compiled to
+//! no-ops unless the `simprof` cargo feature is on, and even with the
+//! feature on it may only ever be called from harness code (`simlint`
+//! allowlists exactly this file and `baseline.rs` for wall-clock tokens in
+//! the bench crate).
+//!
+//! Usage:
+//!
+//! ```
+//! let mut p = bench::simprof::scope("tcp_family_mix/jobs1");
+//! // ... run the phase ...
+//! p.add_events(12_345); // simulator events attributed to the phase
+//! drop(p);              // records wall time on drop
+//! let phases = bench::simprof::report(); // empty unless --features simprof
+//! ```
+//!
+//! Totals accumulate in a global map keyed by phase label; repeated scopes
+//! with the same label sum. `report()` snapshots (sorted by label) and
+//! `reset()` clears — both are cheap and safe to call with the feature off.
+
+#[cfg(feature = "simprof")]
+use std::collections::BTreeMap;
+#[cfg(feature = "simprof")]
+use std::sync::Mutex;
+#[cfg(feature = "simprof")]
+use std::time::Instant;
+
+/// Accumulated measurements for one phase label.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Total wall time spent inside scopes with this label (ms).
+    pub wall_ms: f64,
+    /// Number of scopes recorded.
+    pub calls: u64,
+    /// Simulator events attributed via [`Scope::add_events`].
+    pub events: u64,
+}
+
+impl PhaseTotals {
+    /// Attributed events per wall-clock second (0.0 when no time elapsed).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.events as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(feature = "simprof")]
+static PHASES: Mutex<BTreeMap<String, PhaseTotals>> = Mutex::new(BTreeMap::new());
+
+/// An open profiling scope; records into the global map when dropped.
+/// A no-op shell unless the `simprof` feature is enabled.
+pub struct Scope {
+    #[cfg(feature = "simprof")]
+    label: String,
+    #[cfg(feature = "simprof")]
+    events: u64,
+    #[cfg(feature = "simprof")]
+    start: Instant,
+}
+
+/// Opens a profiling scope for `label`. Wall time from this call until the
+/// returned guard drops is added to the label's totals.
+#[cfg(feature = "simprof")]
+pub fn scope(label: impl Into<String>) -> Scope {
+    Scope {
+        label: label.into(),
+        events: 0,
+        start: Instant::now(),
+    }
+}
+
+/// Feature-off stub: returns an inert guard and reads no clocks.
+#[cfg(not(feature = "simprof"))]
+pub fn scope(_label: impl Into<String>) -> Scope {
+    Scope {}
+}
+
+impl Scope {
+    /// Attributes `n` simulator events to this scope (for events/sec).
+    pub fn add_events(&mut self, n: u64) {
+        #[cfg(feature = "simprof")]
+        {
+            self.events += n;
+        }
+        #[cfg(not(feature = "simprof"))]
+        let _ = n;
+    }
+}
+
+#[cfg(feature = "simprof")]
+impl Drop for Scope {
+    fn drop(&mut self) {
+        let wall_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let mut map = PHASES.lock().unwrap();
+        let t = map.entry(std::mem::take(&mut self.label)).or_default();
+        t.wall_ms += wall_ms;
+        t.calls += 1;
+        t.events += self.events;
+    }
+}
+
+/// Whether the profiler is compiled in.
+pub fn enabled() -> bool {
+    cfg!(feature = "simprof")
+}
+
+/// Snapshot of every phase's totals, sorted by label. Empty when the
+/// `simprof` feature is off.
+pub fn report() -> Vec<(String, PhaseTotals)> {
+    #[cfg(feature = "simprof")]
+    {
+        PHASES
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+    #[cfg(not(feature = "simprof"))]
+    Vec::new()
+}
+
+/// Clears all accumulated totals.
+pub fn reset() {
+    #[cfg(feature = "simprof")]
+    PHASES.lock().unwrap().clear();
+}
+
+/// Human-readable table of the current totals (empty string when there are
+/// none — callers can print unconditionally).
+pub fn render() -> String {
+    let phases = report();
+    if phases.is_empty() {
+        return String::new();
+    }
+    let mut s = String::from(
+        "== simprof phases ==\nphase                                 calls   wall (ms)        events      events/s\n",
+    );
+    for (label, t) in &phases {
+        s.push_str(&format!(
+            "{:<36}{:>8}{:>12.1}{:>14}{:>14.0}\n",
+            label,
+            t.calls,
+            t.wall_ms,
+            t.events,
+            t.events_per_sec()
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "simprof")]
+    #[test]
+    fn scopes_accumulate_under_their_label() {
+        reset();
+        for _ in 0..3 {
+            let mut p = scope("unit/phase_a");
+            p.add_events(10);
+            drop(p);
+        }
+        let phases = report();
+        let (label, t) = phases
+            .iter()
+            .find(|(l, _)| l == "unit/phase_a")
+            .expect("phase recorded");
+        assert_eq!(label, "unit/phase_a");
+        assert_eq!(t.calls, 3);
+        assert_eq!(t.events, 30);
+        assert!(t.wall_ms >= 0.0);
+        assert!(render().contains("unit/phase_a"));
+        reset();
+    }
+
+    #[cfg(not(feature = "simprof"))]
+    #[test]
+    fn feature_off_is_inert() {
+        {
+            let mut p = scope("unit/ignored");
+            p.add_events(99);
+        }
+        assert!(!enabled());
+        assert!(report().is_empty());
+        assert_eq!(render(), "");
+    }
+}

@@ -3,10 +3,12 @@
 use eventsim::{EventQueue, SimTime};
 use faults::{FaultAction, FaultState};
 use netsim::packet::{Color, Direction, FlowId, Packet};
-use netsim::switch::{PfcConfig, PfcSignal, Switch, SwitchConfig};
+use netsim::switch::{DropReason, PfcConfig, PfcSignal, Switch, SwitchConfig};
 use netsim::topology::{Hop, NodeId, NodeKind, PortId, Topology};
 use netstats::{FlowRecord, Samples};
-use telemetry::{DropWhy, FaultKind, TimerId, TraceEvent, Tracer};
+use telemetry::{
+    DropWhy, FaultKind, Registry, RtoCause, RtoCauseCounts, TimerId, TraceEvent, Tracer,
+};
 use tlt_core::{RateTltConfig, WindowTltConfig};
 use transport::cc::{Dctcp, Hpcc, NewReno};
 use transport::iface::{Action, Ctx, FlowReceiver, FlowSender, TimerKind, TltMode};
@@ -85,6 +87,10 @@ pub struct AggregateStats {
     /// Total simulator events scheduled (the engine's unit of work, for
     /// events/sec throughput reporting).
     pub events_scheduled: u64,
+    /// Per-root-cause attribution of the timeouts above, from the RTO
+    /// forensics pass (`rto_causes.total() == timeouts` when every firing
+    /// was observed by the engine).
+    pub rto_causes: RtoCauseCounts,
 }
 
 impl AggregateStats {
@@ -109,6 +115,29 @@ impl AggregateStats {
     }
 }
 
+/// One retransmission timeout with its attributed root cause.
+///
+/// Built by the engine's forensics pass the instant an RTO fires: the
+/// flow's recent loss history and the PFC pause timeline are walked
+/// backwards to find the event that explains the expiry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RtoForensicRec {
+    /// When the RTO fired.
+    pub at: SimTime,
+    /// The flow that timed out.
+    pub flow: u32,
+    /// Oldest unacknowledged byte at expiry.
+    pub seq: u64,
+    /// Attributed root cause.
+    pub cause: RtoCause,
+    /// Node where the root-cause event happened (0 when unknown).
+    pub node: u32,
+    /// Port of the root-cause event.
+    pub port: u32,
+    /// When the root-cause event happened ([`SimTime::ZERO`] when unknown).
+    pub root_at: SimTime,
+}
+
 /// The outcome of a run.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -116,6 +145,11 @@ pub struct SimResult {
     pub flows: Vec<FlowRecord>,
     /// Aggregate counters.
     pub agg: AggregateStats,
+    /// Per-RTO forensic records, in firing order.
+    pub forensics: Vec<RtoForensicRec>,
+    /// The metrics registry, populated when [`Engine::set_metrics`] was
+    /// called before the run (`None` otherwise).
+    pub metrics: Option<Registry>,
 }
 
 enum Event {
@@ -192,6 +226,43 @@ struct PortState {
     ever_paused: bool,
 }
 
+/// Per-flow ring capacity for [`LossEvent`] provenance records. Bounds the
+/// forensic memory per flow; RTO attribution only needs the recent past.
+const LOSS_RING: usize = 64;
+
+/// Engine-wide ring capacity for completed PFC pause episodes.
+const PAUSE_LOG: usize = 128;
+
+/// One frame loss, remembered for RTO attribution.
+#[derive(Clone, Copy)]
+struct LossEvent {
+    at: SimTime,
+    node: u32,
+    port: u32,
+    why: DropWhy,
+    dir: Direction,
+    control: bool,
+    epoch: u32,
+}
+
+/// One completed PFC pause episode on an egress port.
+#[derive(Clone, Copy)]
+struct PauseEpisode {
+    node: u32,
+    port: u32,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// Metrics registry plus per-port metric-name tables, precomputed at
+/// [`Engine::set_metrics`] time so the hot path never formats strings.
+struct MetricsState {
+    reg: Registry,
+    q_name: Vec<Vec<String>>,
+    qmax_name: Vec<Vec<String>>,
+    pause_name: Vec<Vec<String>>,
+}
+
 struct FlowRuntime {
     spec: FlowSpec,
     src: NodeId,
@@ -203,6 +274,13 @@ struct FlowRuntime {
     timer_gen: [u64; TIMER_KINDS.len()],
     timer_armed: [bool; TIMER_KINDS.len()],
     complete_at: Option<SimTime>,
+    /// Transmit epoch stamped onto outgoing packets; advances when an RTO
+    /// is attributed, so loss records separate retransmission rounds.
+    tx_epoch: u32,
+    /// When the currently-armed RTO timer was set (the PFC-stall window).
+    rto_armed_at: SimTime,
+    /// Recent losses involving this flow's packets, oldest first.
+    losses: std::collections::VecDeque<LossEvent>,
 }
 
 /// The simulation engine. See the crate docs for an end-to-end example.
@@ -223,6 +301,14 @@ pub struct Engine {
     first_fault_at: Option<SimTime>,
     reroutes: u64,
     tracer: Tracer,
+    /// Completed PFC pause episodes (bounded ring, oldest first).
+    pause_log: std::collections::VecDeque<PauseEpisode>,
+    /// Per-cause RTO attribution totals.
+    rto_causes: RtoCauseCounts,
+    /// Per-RTO forensic records, in firing order.
+    forensics: Vec<RtoForensicRec>,
+    /// Metrics registry; `None` unless [`Engine::set_metrics`] was called.
+    metrics: Option<MetricsState>,
     /// Strict-invariant conservation ledger: engine-side per-link and
     /// per-drop-reason accounting, audited against [`AggregateStats`] at
     /// drain time.
@@ -309,6 +395,9 @@ impl Engine {
                 timer_gen: [0; TIMER_KINDS.len()],
                 timer_armed: [false; TIMER_KINDS.len()],
                 complete_at: None,
+                tx_epoch: 0,
+                rto_armed_at: SimTime::ZERO,
+                losses: std::collections::VecDeque::new(),
             });
         }
         if let Some(every) = cfg.queue_sample_every {
@@ -361,6 +450,10 @@ impl Engine {
             first_fault_at: None,
             reroutes: 0,
             tracer: Tracer::off(),
+            pause_log: std::collections::VecDeque::new(),
+            rto_causes: RtoCauseCounts::default(),
+            forensics: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -383,6 +476,43 @@ impl Engine {
             }
         }
         self.tracer = tracer;
+    }
+
+    /// Enables the metrics registry: per-port queue-depth histograms and
+    /// watermarks, PFC pause-duration histograms, and end-of-run counters
+    /// (RTO root causes, drop/mark totals, TLT transmit overhead). Call
+    /// before [`Engine::run`]; the populated [`Registry`] is returned in
+    /// [`SimResult::metrics`].
+    pub fn set_metrics(&mut self) {
+        // Metric names are precomputed per (node, port) so hot-path
+        // observations are a lookup, never a format.
+        let mut q_name = Vec::with_capacity(self.ports.len());
+        let mut qmax_name = Vec::with_capacity(self.ports.len());
+        let mut pause_name = Vec::with_capacity(self.ports.len());
+        for (n, node_ports) in self.ports.iter().enumerate() {
+            let ports = node_ports.len();
+            q_name.push(
+                (0..ports)
+                    .map(|p| format!("port_queue_bytes/n{n}/p{p}"))
+                    .collect(),
+            );
+            qmax_name.push(
+                (0..ports)
+                    .map(|p| format!("port_queue_max/n{n}/p{p}"))
+                    .collect(),
+            );
+            pause_name.push(
+                (0..ports)
+                    .map(|p| format!("pfc_pause_ns/n{n}/p{p}"))
+                    .collect(),
+            );
+        }
+        self.metrics = Some(MetricsState {
+            reg: Registry::new(),
+            q_name,
+            qmax_name,
+            pause_name,
+        });
     }
 
     /// The base RTT the engine derived for this topology.
@@ -459,6 +589,12 @@ impl Engine {
                             flow,
                             kind: timer_id(kind),
                         });
+                        // RTO forensics: detect whether this firing actually
+                        // registered a timeout (the transport may ignore a
+                        // stale timer), and attribute it *before* flushing
+                        // actions so the retransmissions carry the new epoch.
+                        let pre_rto = (kind == TimerKind::Rto)
+                            .then(|| self.flows[flow as usize].sender.stats().timeouts);
                         let rt = &mut self.flows[flow as usize];
                         rt.sender.on_timer(
                             kind,
@@ -467,6 +603,11 @@ impl Engine {
                                 actions: &mut self.actions,
                             },
                         );
+                        if let Some(pre) = pre_rto {
+                            if self.flows[flow as usize].sender.stats().timeouts > pre {
+                                self.attribute_rto(flow, t);
+                            }
+                        }
                         self.flush_actions(flow);
                         check_done!(flow);
                     }
@@ -483,7 +624,25 @@ impl Engine {
                         });
                     } else if !pause && ps.paused {
                         ps.paused = false;
-                        ps.paused_total += t - ps.paused_since;
+                        let started = ps.paused_since;
+                        ps.paused_total += t - started;
+                        // Log the episode for RTO attribution and observe
+                        // its duration when metrics are on.
+                        if self.pause_log.len() == PAUSE_LOG {
+                            self.pause_log.pop_front();
+                        }
+                        self.pause_log.push_back(PauseEpisode {
+                            node: node.0,
+                            port: port.0,
+                            start: started,
+                            end: t,
+                        });
+                        if let Some(m) = self.metrics.as_mut() {
+                            m.reg.observe(
+                                &m.pause_name[node.0 as usize][port.0 as usize],
+                                (t - started).as_ns(),
+                            );
+                        }
                         self.tracer.emit(t, || TraceEvent::LinkResume {
                             node: node.0,
                             port: port.0,
@@ -556,11 +715,17 @@ impl Engine {
         // Close out pause accounting.
         let end = self.now;
         let mut pause_fracs = Vec::new();
-        for node_ports in &mut self.ports {
-            for ps in node_ports.iter_mut() {
+        for (n, node_ports) in self.ports.iter_mut().enumerate() {
+            for (p, ps) in node_ports.iter_mut().enumerate() {
                 if ps.paused {
-                    ps.paused_total += end - ps.paused_since;
+                    let d = end - ps.paused_since;
+                    ps.paused_total += d;
                     ps.paused = false;
+                    // A port still paused at the end is a truncated episode;
+                    // its duration-so-far still belongs in the histogram.
+                    if let Some(m) = self.metrics.as_mut() {
+                        m.reg.observe(&m.pause_name[n][p], d.as_ns());
+                    }
                 }
                 if ps.ever_paused && end > SimTime::ZERO {
                     pause_fracs.push(ps.paused_total.as_secs_f64() / end.as_secs_f64());
@@ -576,6 +741,7 @@ impl Engine {
             faults_injected: self.faults_injected,
             first_fault_at: self.first_fault_at.unwrap_or(SimTime::ZERO),
             reroutes: self.reroutes,
+            rto_causes: self.rto_causes,
             queue_samples,
             link_pause_fraction: if pause_fracs.is_empty() {
                 0.0
@@ -639,7 +805,42 @@ impl Engine {
         }
         #[cfg(feature = "strict-invariants")]
         self.ledger.audit_final(&agg);
-        SimResult { flows, agg }
+
+        // Seal the metrics registry with the end-of-run counters. Every
+        // name is always written (even at zero) so the exported schema is
+        // identical across runs and configurations.
+        let metrics = self.metrics.take().map(|mut m| {
+            let r = &mut m.reg;
+            for (cause, n) in agg.rto_causes.iter() {
+                let mut name = String::from("rto_cause_");
+                name.push_str(cause.as_str());
+                r.inc(&name, n);
+            }
+            r.inc("timeouts", agg.timeouts);
+            r.inc("fast_retx", agg.fast_retx);
+            r.inc("data_pkts_sent", agg.data_pkts_sent);
+            r.inc("tlt_important_pkts", agg.important_pkts);
+            r.inc("tlt_unimportant_pkts", agg.unimportant_pkts);
+            r.inc("tlt_clocking_pkts", agg.clocking_pkts);
+            r.inc("tlt_clocking_bytes", agg.clocking_bytes);
+            r.inc("ce_marked", agg.ce_marked);
+            r.inc("pause_frames", agg.pause_frames);
+            r.inc("drops_color", agg.drops_color);
+            r.inc("drops_dt", agg.drops_dt);
+            r.inc("drops_overflow", agg.drops_overflow);
+            r.inc("drops_wire", agg.wire_drops);
+            r.inc("drops_down", agg.down_drops);
+            r.inc("events_scheduled", agg.events_scheduled);
+            r.gauge_max("max_queue_bytes", agg.max_queue_bytes);
+            m.reg
+        });
+        let forensics = std::mem::take(&mut self.forensics);
+        SimResult {
+            flows,
+            agg,
+            forensics,
+            metrics,
+        }
     }
 
     /// Delivers a packet arriving at `to` on `in_port`. Returns `true` when
@@ -706,23 +907,46 @@ impl Engine {
         let egress = path[h].port;
         let mut pkt = pkt;
         pkt.hop += 1;
+        // Provenance, captured before the switch takes ownership: a drop
+        // outcome must be attributable to this flow's loss ring.
+        let (p_dir, p_ctrl, p_epoch) = (pkt.dir, pkt.is_control(), pkt.epoch);
         let sw = self.switches[to.0 as usize]
             .as_mut()
             .expect("transit node must be a switch");
         let outcome = sw.enqueue(pkt, in_port, egress, self.now);
+        let qlen = sw.queue_bytes(egress);
+        let dropped = outcome.drop.map(|r| match r {
+            DropReason::ColorThreshold => DropWhy::Color,
+            DropReason::DynamicThreshold => DropWhy::Dynamic,
+            DropReason::BufferOverflow => DropWhy::Overflow,
+        });
         #[cfg(feature = "strict-invariants")]
-        if let Some(r) = outcome.drop {
-            use netsim::switch::DropReason;
-            self.ledger.account_drop(match r {
-                DropReason::ColorThreshold => DropWhy::Color,
-                DropReason::DynamicThreshold => DropWhy::Dynamic,
-                DropReason::BufferOverflow => DropWhy::Overflow,
-            });
+        if let Some(why) = dropped {
+            self.ledger.account_drop(why);
+        }
+        if let Some(why) = dropped {
+            self.note_loss(
+                f,
+                LossEvent {
+                    at: self.now,
+                    node: to.0,
+                    port: egress.0,
+                    why,
+                    dir: p_dir,
+                    control: p_ctrl,
+                    epoch: p_epoch,
+                },
+            );
         }
         if let Some(sig) = outcome.pfc {
             self.send_pfc(to, sig);
         }
         if outcome.enqueued {
+            if let Some(m) = self.metrics.as_mut() {
+                let (n, p) = (to.0 as usize, egress.0 as usize);
+                m.reg.observe(&m.q_name[n][p], qlen);
+                m.reg.gauge_max(&m.qmax_name[n][p], qlen);
+            }
             self.kick_port(to, egress);
         }
         false
@@ -788,6 +1012,18 @@ impl Engine {
                 why: DropWhy::LinkDown,
                 green: pkt.color == Color::Green && !pkt.is_control(),
             });
+            self.note_loss(
+                pkt.flow.0,
+                LossEvent {
+                    at: self.now,
+                    node: node.0,
+                    port: port.0,
+                    why: DropWhy::LinkDown,
+                    dir: pkt.dir,
+                    control: pkt.is_control(),
+                    epoch: pkt.epoch,
+                },
+            );
             return;
         }
         // Non-congestion (corruption) loss: same deal, the frame never
@@ -804,6 +1040,18 @@ impl Engine {
                 why: DropWhy::Wire,
                 green: pkt.color == Color::Green && !pkt.is_control(),
             });
+            self.note_loss(
+                pkt.flow.0,
+                LossEvent {
+                    at: self.now,
+                    node: node.0,
+                    port: port.0,
+                    why: DropWhy::Wire,
+                    dir: pkt.dir,
+                    control: pkt.is_control(),
+                    epoch: pkt.epoch,
+                },
+            );
             return;
         }
         #[cfg(feature = "strict-invariants")]
@@ -831,6 +1079,115 @@ impl Engine {
             seq: pkt.seq,
             why: DropWhy::LinkDown,
             green: pkt.color == Color::Green && !pkt.is_control(),
+        });
+        self.note_loss(
+            pkt.flow.0,
+            LossEvent {
+                at: self.now,
+                node: node.0,
+                port: port.0,
+                why: DropWhy::LinkDown,
+                dir: pkt.dir,
+                control: pkt.is_control(),
+                epoch: pkt.epoch,
+            },
+        );
+    }
+
+    /// Appends a loss to flow `f`'s bounded forensic ring.
+    fn note_loss(&mut self, f: u32, ev: LossEvent) {
+        let rt = &mut self.flows[f as usize];
+        if rt.losses.len() == LOSS_RING {
+            rt.losses.pop_front();
+        }
+        rt.losses.push_back(ev);
+    }
+
+    /// Attributes the RTO that flow `f`'s sender just registered at `t`.
+    ///
+    /// The evidence is examined in causal-precedence order: a loss of this
+    /// flow's packets in the current transmit epoch (forward data losses
+    /// name the drop directly, reverse/control losses starved the ACK
+    /// clock), then a PFC pause overlapping the armed window on any hop of
+    /// the flow's paths, then any stale-epoch loss (a retransmission round
+    /// that was itself lost). A connection whose loss ring is *empty* —
+    /// nothing of it was ever dropped — took a spurious, delay-induced
+    /// timeout (`Delay`). Anything else is `Unknown`.
+    fn attribute_rto(&mut self, f: u32, t: SimTime) {
+        let rt = &self.flows[f as usize];
+        let epoch = rt.tx_epoch;
+        let armed = rt.rto_armed_at;
+        let classify = |l: &LossEvent| {
+            if l.dir == Direction::Fwd && !l.control {
+                RtoCause::from_drop(l.why)
+            } else {
+                RtoCause::AckLoss
+            }
+        };
+        let from_ring = |want_epoch: Option<u32>| {
+            // Forward data losses outrank reverse/control ones: a lost ACK
+            // only matters when no data frame of the epoch died.
+            let pick = |data_only: bool| {
+                rt.losses
+                    .iter()
+                    .rev()
+                    .filter(|l| want_epoch.is_none_or(|e| l.epoch == e))
+                    .find(|l| !data_only || (l.dir == Direction::Fwd && !l.control))
+                    .map(|l| (classify(l), l.node, l.port, l.at))
+            };
+            pick(true).or_else(|| pick(false))
+        };
+        let mut hit = from_ring(Some(epoch));
+        if hit.is_none() {
+            // Nothing was dropped this epoch: a PFC stall on the path can
+            // hold ACKs (or data) past the timer without losing a frame.
+            'pfc: for path in [&rt.path_fwd, &rt.path_rev] {
+                for hop in path.iter() {
+                    let (hn, hp) = (hop.node.0, hop.port.0);
+                    let ps = &self.ports[hn as usize][hp as usize];
+                    if ps.paused && ps.paused_since <= t {
+                        hit = Some((RtoCause::PfcStall, hn, hp, ps.paused_since));
+                        break 'pfc;
+                    }
+                    for ep in self.pause_log.iter().rev() {
+                        if ep.node == hn && ep.port == hp && ep.end >= armed && ep.start <= t {
+                            hit = Some((RtoCause::PfcStall, hn, hp, ep.start));
+                            break 'pfc;
+                        }
+                    }
+                }
+            }
+        }
+        if hit.is_none() {
+            hit = from_ring(None);
+        }
+        if hit.is_none() && rt.losses.is_empty() {
+            // Not a single frame of this connection ever died: the
+            // outstanding data (or its ACK) is still queued in the network
+            // and the timeout is spurious — queueing delay outgrew the
+            // computed RTO (the paper's Figure 1 regime).
+            hit = Some((RtoCause::Delay, 0, 0, armed));
+        }
+        let (cause, node, port, root_at) = hit.unwrap_or((RtoCause::Unknown, 0, 0, SimTime::ZERO));
+        let seq = rt.sender.stats().last_rto_seq;
+        self.flows[f as usize].tx_epoch += 1;
+        self.rto_causes.bump(cause);
+        self.tracer.emit(t, || TraceEvent::RtoForensic {
+            flow: f,
+            seq,
+            cause,
+            node,
+            port,
+            root_at,
+        });
+        self.forensics.push(RtoForensicRec {
+            at: t,
+            flow: f,
+            seq,
+            cause,
+            node,
+            port,
+            root_at,
         });
     }
 
@@ -965,6 +1322,7 @@ impl Engine {
                         Direction::Rev => rt.dst,
                     };
                     pkt.hop = 1;
+                    pkt.epoch = rt.tx_epoch;
                     self.host_q[origin.0 as usize].push_back(pkt);
                     self.kick_port(origin, PortId(0));
                 }
@@ -973,6 +1331,9 @@ impl Engine {
                     let s = timer_slot(kind);
                     rt.timer_gen[s] += 1;
                     rt.timer_armed[s] = true;
+                    if kind == TimerKind::Rto {
+                        rt.rto_armed_at = self.now;
+                    }
                     let gen = rt.timer_gen[s];
                     let at = at.max(self.now);
                     self.tracer.emit(self.now, || TraceEvent::TimerArm {
@@ -1189,6 +1550,130 @@ mod tests {
             tlt_max < base_max,
             "TLT tail {tlt_max} vs baseline tail {base_max}"
         );
+    }
+
+    #[test]
+    fn golden_incast_rtos_attribute_to_bottleneck_congestion_drops() {
+        // The same scripted incast as above, viewed through RTO forensics:
+        // every timeout the baseline suffers must carry a root cause naming
+        // an uncolored congestion drop at the bottleneck switch's egress
+        // toward the sink, and TLT — which eliminates the timeouts — must
+        // leave the forensic log empty.
+        let mk = |tlt: bool| {
+            let mut cfg =
+                SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(49));
+            cfg.switch.buffer_bytes = 800_000;
+            cfg.switch.ecn = netsim::switch::EcnConfig::Threshold { k: 100_000 };
+            if tlt {
+                cfg = cfg.with_tlt();
+                cfg.switch.color_threshold = Some(150_000);
+            }
+            let flows: Vec<FlowSpec> = (1..49)
+                .flat_map(|s| {
+                    [
+                        FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true),
+                        FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true),
+                    ]
+                })
+                .collect();
+            Engine::new(cfg, flows).run()
+        };
+        let base = mk(false);
+        assert!(base.agg.timeouts > 0, "baseline incast must time out");
+        assert_eq!(
+            base.forensics.len() as u64,
+            base.agg.timeouts,
+            "exactly one forensic record per RTO"
+        );
+        assert_eq!(base.agg.rto_causes.total(), base.agg.timeouts);
+        assert_eq!(
+            base.agg.rto_causes.get(RtoCause::Unknown),
+            0,
+            "every RTO in the scripted scenario has a known root cause"
+        );
+        for r in &base.forensics {
+            assert!(
+                matches!(r.cause, RtoCause::Dynamic | RtoCause::Overflow),
+                "congestion drop expected, got {:?}",
+                r.cause
+            );
+            assert_eq!(r.node, 0, "root cause sits at the bottleneck switch");
+            assert_eq!(r.port, 0, "on the egress toward the incast sink");
+            assert!(r.root_at <= r.at, "the cause precedes the timeout");
+        }
+
+        let tlt = mk(true);
+        assert_eq!(tlt.agg.timeouts, 0, "TLT eliminates the timeouts");
+        assert!(tlt.forensics.is_empty(), "no RTO, no forensics");
+        assert_eq!(tlt.agg.rto_causes.total(), 0);
+    }
+
+    #[test]
+    fn golden_severed_flow_rtos_attribute_to_link_down() {
+        // A flow whose only path is cut keeps RTO-probing until max_time;
+        // forensics must blame the dead wire, never congestion.
+        let mut cfg =
+            SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(4));
+        cfg.max_time = SimTime::from_ms(50);
+        cfg.faults = faults::FaultSchedule::new().link_down(SimTime::from_us(50), 3, 0);
+        let flows = vec![
+            FlowSpec::new(1, 0, 64_000, SimTime::ZERO, true),
+            FlowSpec::new(2, 0, 64_000, SimTime::ZERO, true),
+            FlowSpec::new(3, 0, 64_000, SimTime::ZERO, true),
+        ];
+        let res = Engine::new(cfg, flows).run();
+        assert!(res.agg.timeouts > 0, "the victim kept RTO-probing");
+        assert_eq!(res.forensics.len() as u64, res.agg.timeouts);
+        assert_eq!(res.agg.rto_causes.total(), res.agg.timeouts);
+        let victim: Vec<_> = res.forensics.iter().filter(|r| r.flow == 1).collect();
+        assert!(!victim.is_empty(), "severed flow produced forensics");
+        for r in victim {
+            assert_eq!(
+                r.cause,
+                RtoCause::LinkDown,
+                "severed flow blames the wire, got {:?}",
+                r.cause
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_registry_captures_queue_and_rto_counters() {
+        let mut cfg =
+            SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(9));
+        cfg.switch.buffer_bytes = 100_000;
+        let flows: Vec<FlowSpec> = (1..9)
+            .map(|s| FlowSpec::new(s, 0, 64_000, SimTime::ZERO, true))
+            .collect();
+        let mut eng = Engine::new(cfg, flows);
+        eng.set_metrics();
+        let res = eng.run();
+        let reg = res.metrics.as_ref().expect("metrics enabled");
+        // End-of-run counters mirror the aggregates.
+        assert_eq!(reg.counter("timeouts"), res.agg.timeouts);
+        assert_eq!(reg.counter("data_pkts_sent"), res.agg.data_pkts_sent);
+        assert_eq!(reg.counter("drops_dt"), res.agg.drops_dt);
+        let cause_sum: u64 = RtoCause::ALL
+            .iter()
+            .map(|c| reg.counter(&format!("rto_cause_{}", c.as_str())))
+            .sum();
+        assert_eq!(cause_sum, res.agg.timeouts, "metrics attribute every RTO");
+        // The bottleneck egress (switch node 0, port 0) saw real occupancy.
+        let q = reg.hist("port_queue_bytes/n0/p0").expect("queue histogram");
+        assert!(q.max() > 0, "bottleneck queue never observed");
+        assert_eq!(
+            reg.gauge("port_queue_max/n0/p0"),
+            q.max(),
+            "watermark gauge matches histogram max"
+        );
+        // A run without metrics enabled carries none.
+        assert!(Engine::new(
+            SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(2)),
+            vec![FlowSpec::new(0, 1, 10_000, SimTime::ZERO, true)],
+        )
+        .run()
+        .metrics
+        .is_none());
     }
 
     #[test]

@@ -155,6 +155,11 @@ pub struct Packet {
     /// Data packets: whether the receiver should treat `seq` as covering the
     /// final byte of the flow (used by rate-based receivers to detect tails).
     pub is_tail: bool,
+    /// RTO-forensics provenance: the sender's transmit epoch when the engine
+    /// put this packet on the wire. Epochs advance on each attributed RTO, so
+    /// a loss record can tell pre-timeout losses from retransmission-round
+    /// losses without storing per-packet history.
+    pub epoch: u32,
 }
 
 impl Packet {
@@ -179,6 +184,7 @@ impl Packet {
             ts_echo: SimTime::ZERO,
             is_retx: false,
             is_tail: false,
+            epoch: 0,
         }
     }
 

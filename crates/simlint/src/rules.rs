@@ -2,8 +2,11 @@
 //!
 //! Scope: the simulation crates (`eventsim`, `netsim`, `transport`, `dcsim`,
 //! `faults`, `workload`, `core`, `stats`) plus the root package's `src/` and
-//! `tests/`. `bench` is exempt (it legitimately reads wall clocks) and
-//! `telemetry` is an output-only layer. Every rule can be suppressed for one
+//! `tests/`. `telemetry` is an output-only layer and exempt. `bench` is
+//! exempt from everything *except* a narrowed D2: wall-clock reads
+//! (`Instant`/`SystemTime`) in the harness must flow through the sanctioned
+//! profiling modules (`bench::simprof`, `bench::baseline`) so stray timing
+//! never leaks toward result data. Every rule can be suppressed for one
 //! binding with `// simlint: allow(<rule>, <reason>)` on the same or the
 //! preceding line:
 //!
@@ -67,6 +70,14 @@ const D4_FILES: [&str; 3] = [
 /// `stats::percentile` is the one sanctioned float-ordering site (it uses
 /// `total_cmp`, and D3 exists to funnel everything through it).
 const D3_EXEMPT: &str = "crates/stats/src/percentile.rs";
+
+/// Bench-crate files sanctioned to read wall clocks (the narrowed D2 for
+/// the harness layer): the scope profiler itself and the baseline suite's
+/// timer. Everything else in `bench` must route timing through these.
+const D2_BENCH_WALLCLOCK_OK: [&str; 2] = [
+    "crates/bench/src/baseline.rs",
+    "crates/bench/src/simprof.rs",
+];
 
 fn crate_of(rel: &str) -> Option<&str> {
     let rest = rel.strip_prefix("crates/")?;
@@ -207,6 +218,34 @@ fn d2(rel: &str, l: &Lexed, regions: &[(u32, u32)], out: &mut Vec<Finding>) {
                 hit(tok.line, "std::thread::current()", out)
             }
             _ => {}
+        }
+    }
+}
+
+/// D2 (bench extension): wall-clock reads in the harness crate. `bench`
+/// legitimately uses `std::env` (CLI flags) and threads (the worker pool),
+/// but `Instant`/`SystemTime` belong only in the allowlisted profiling
+/// modules — anywhere else, elapsed-time readings are one refactor away from
+/// contaminating deterministic output.
+fn d2_bench(rel: &str, l: &Lexed, regions: &[(u32, u32)], out: &mut Vec<Finding>) {
+    for tok in &l.toks {
+        if tok.kind != TokKind::Ident || in_test_region(regions, tok.line) {
+            continue;
+        }
+        if matches!(tok.text.as_str(), "Instant" | "SystemTime")
+            && !l.allowed("wallclock", tok.line)
+        {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: tok.line,
+                rule: "D2",
+                msg: format!(
+                    "std::time::{} read outside the sanctioned harness timing modules; \
+                     route wall-clock profiling through bench::simprof (or time whole \
+                     suites in bench::baseline)",
+                    tok.text
+                ),
+            });
         }
     }
 }
@@ -412,6 +451,13 @@ pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
             if D4_FILES.contains(&rel.as_str()) {
                 d4(rel, l, &regions, &mut out);
             }
+        } else if crate_of(rel) == Some("bench") && !D2_BENCH_WALLCLOCK_OK.contains(&rel.as_str()) {
+            let regions = if file_is_test(rel) {
+                vec![(0, u32::MAX)]
+            } else {
+                test_regions(l)
+            };
+            d2_bench(rel, l, &regions, &mut out);
         }
     }
     d5(&lexed, &mut out);

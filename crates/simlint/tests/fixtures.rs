@@ -118,6 +118,42 @@ fn d2_does_not_fire_on_identifier_substrings() {
     assert!(f.is_empty(), "token-exact matching required: {f:?}");
 }
 
+#[test]
+fn d2_bench_flags_wallclock_outside_sanctioned_modules() {
+    let f = lint(&[(
+        "crates/bench/src/runner.rs",
+        "fn t() { let w = std::time::Instant::now(); }\n\
+         fn u() { let e = std::time::SystemTime::now(); }\n",
+    )]);
+    assert_eq!(rules(&f), ["D2", "D2"]);
+    assert!(f[0].msg.contains("bench::simprof"), "{}", f[0].msg);
+}
+
+#[test]
+fn d2_bench_allows_simprof_baseline_env_and_tests() {
+    let wallclock = "fn t() { let w = std::time::Instant::now(); }\n";
+    let f = lint(&[
+        // The sanctioned harness timing modules.
+        ("crates/bench/src/simprof.rs", wallclock),
+        ("crates/bench/src/baseline.rs", wallclock),
+        // Micro-benches are a test-only location.
+        ("crates/bench/benches/micro.rs", wallclock),
+        // env/thread reads stay legal in the harness (CLI + worker pool).
+        (
+            "crates/bench/src/runner.rs",
+            "fn args() { let a = std::env::args(); }\n\
+             fn pool() { let h = std::thread::current(); }\n",
+        ),
+        // Pragmas suppress the bench extension like everywhere else.
+        (
+            "crates/bench/src/plan.rs",
+            "// simlint: allow(wallclock, progress display only)\n\
+             fn eta() { let w = std::time::Instant::now(); }\n",
+        ),
+    ]);
+    assert!(f.is_empty(), "sanctioned harness timing sites pass: {f:?}");
+}
+
 // ---------------------------------------------------------------- D3
 
 #[test]

@@ -100,9 +100,9 @@ pub fn summarize_flows<'a>(
         }
     }
     out.avg = fcts.mean();
-    out.p50 = fcts.percentile(50.0);
-    out.p99 = fcts.percentile(99.0);
-    out.p999 = fcts.percentile(99.9);
+    out.p50 = fcts.percentile(50.0).unwrap_or(0.0);
+    out.p99 = fcts.percentile(99.0).unwrap_or(0.0);
+    out.p999 = fcts.percentile(99.9).unwrap_or(0.0);
     out.max = fcts.max();
     out.timeouts_per_1k = if out.count > 0 {
         out.timeouts as f64 * 1000.0 / out.count as f64

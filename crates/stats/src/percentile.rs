@@ -11,9 +11,10 @@
 /// for v in 1..=100 {
 ///     s.push(v as f64);
 /// }
-/// assert_eq!(s.percentile(50.0), 50.5);
-/// assert_eq!(s.percentile(99.0), 99.01);
+/// assert_eq!(s.percentile(50.0), Some(50.5));
+/// assert_eq!(s.percentile(99.0), Some(99.01));
 /// assert_eq!(s.max(), 100.0);
+/// assert_eq!(Samples::new().percentile(50.0), None);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Samples {
@@ -65,25 +66,28 @@ impl Samples {
         &self.v
     }
 
-    /// The p-th percentile (0–100) with linear interpolation between ranks.
+    /// The p-th percentile (0–100) with linear interpolation between ranks,
+    /// or `None` for an empty bag.
     ///
-    /// Returns 0.0 for an empty bag — experiment code prints summaries
-    /// unconditionally and an empty cell should read as zero, not panic.
-    pub fn percentile(&mut self, p: f64) -> f64 {
+    /// The old API returned a 0.0 sentinel for empty bags, which made a
+    /// genuinely-zero percentile indistinguishable from "no data" in
+    /// summary tables. Callers that print cells unconditionally choose
+    /// their own rendering (`unwrap_or(0.0)`, NaN, a dash).
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
         let s = self.sorted();
         if s.is_empty() {
-            return 0.0;
+            return None;
         }
         let p = p.clamp(0.0, 100.0);
         let rank = p / 100.0 * (s.len() - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
-        if lo == hi {
+        Some(if lo == hi {
             s[lo]
         } else {
             let frac = rank - lo as f64;
             s[lo] * (1.0 - frac) + s[hi] * frac
-        }
+        })
     }
 
     /// Arithmetic mean (0.0 when empty).
@@ -136,10 +140,17 @@ impl Samples {
 mod tests {
     use super::*;
 
+    /// Regression: `percentile` on an empty bag used to return a 0.0
+    /// sentinel, indistinguishable from a real zero percentile. It must
+    /// report the absence of data instead (and the other accessors keep
+    /// their documented zero defaults).
     #[test]
-    fn empty_bag_is_zeroes() {
+    fn empty_bag_has_no_percentile() {
         let mut s = Samples::new();
-        assert_eq!(s.percentile(99.0), 0.0);
+        assert_eq!(s.percentile(0.0), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.percentile(99.0), None);
+        assert_eq!(s.percentile(99.0).unwrap_or(0.0), 0.0, "opt-in sentinel");
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.max(), 0.0);
         assert_eq!(s.min(), 0.0);
@@ -150,27 +161,27 @@ mod tests {
     #[test]
     fn single_sample() {
         let mut s = Samples::from_values(vec![42.0]);
-        assert_eq!(s.percentile(0.0), 42.0);
-        assert_eq!(s.percentile(50.0), 42.0);
-        assert_eq!(s.percentile(100.0), 42.0);
+        assert_eq!(s.percentile(0.0), Some(42.0));
+        assert_eq!(s.percentile(50.0), Some(42.0));
+        assert_eq!(s.percentile(100.0), Some(42.0));
         assert_eq!(s.mean(), 42.0);
     }
 
     #[test]
     fn percentiles_interpolate() {
         let mut s = Samples::from_values(vec![10.0, 20.0, 30.0, 40.0]);
-        assert_eq!(s.percentile(0.0), 10.0);
-        assert_eq!(s.percentile(100.0), 40.0);
-        assert_eq!(s.percentile(50.0), 25.0);
+        assert_eq!(s.percentile(0.0), Some(10.0));
+        assert_eq!(s.percentile(100.0), Some(40.0));
+        assert_eq!(s.percentile(50.0), Some(25.0));
     }
 
     #[test]
     fn push_after_percentile_resorts() {
         let mut s = Samples::new();
         s.push(5.0);
-        assert_eq!(s.percentile(100.0), 5.0);
+        assert_eq!(s.percentile(100.0), Some(5.0));
         s.push(1.0);
-        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(0.0), Some(1.0));
     }
 
     #[test]
@@ -221,14 +232,14 @@ mod tests {
             let mut s = Samples::from_values(vals.clone());
             let mut last = f64::MIN;
             for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
-                let v = s.percentile(p);
+                let v = s.percentile(p).unwrap();
                 assert!(v >= last, "case {case}: p{p} regressed: {v} < {last}");
                 last = v;
             }
             let lo = vals.iter().copied().fold(f64::MAX, f64::min);
             let hi = vals.iter().copied().fold(f64::MIN, f64::max);
-            assert!(s.percentile(0.0) >= lo - 1e-9, "case {case}");
-            assert!(s.percentile(100.0) <= hi + 1e-9, "case {case}");
+            assert!(s.percentile(0.0).unwrap() >= lo - 1e-9, "case {case}");
+            assert!(s.percentile(100.0).unwrap() <= hi + 1e-9, "case {case}");
         }
     }
 }

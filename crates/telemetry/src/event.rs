@@ -12,7 +12,7 @@ use eventsim::SimTime;
 /// Mirrors `netsim`'s switch drop reasons plus the engine's wire-corruption
 /// loss; kept as a separate enum so this crate stays dependency-free of the
 /// network substrate.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum DropWhy {
     /// Red packet proactively dropped at the color-aware threshold (§4.1).
     Color,
@@ -50,6 +50,159 @@ impl DropWhy {
             "down" => DropWhy::LinkDown,
             _ => return None,
         })
+    }
+}
+
+/// Root cause the engine's forensics pass attributed to a retransmission
+/// timeout ([`TraceEvent::RtoForensic`]).
+///
+/// The first five variants mirror [`DropWhy`]: the RTO traces back to a
+/// concrete lost packet with that drop reason. `PfcStall` means no loss was
+/// found but the flow's path was PFC-paused while the timer ran; `AckLoss`
+/// means only reverse-direction (ACK/NACK/CNP) losses were found; `Delay`
+/// means the connection never lost a single frame — the outstanding data
+/// (or its ACK) is still in the network and the timeout is spurious, the
+/// RTT having outgrown the computed RTO (the paper's Figure 1 regime);
+/// `Unknown` means the forensics ring held losses but none explain this
+/// timeout.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum RtoCause {
+    /// Root cause: a color-aware threshold drop of an unimportant packet.
+    Color,
+    /// Root cause: a dynamic-threshold (congestion) drop.
+    Dynamic,
+    /// Root cause: a shared-buffer exhaustion drop.
+    Overflow,
+    /// Root cause: a non-congestion wire corruption loss.
+    Wire,
+    /// Root cause: a frame destroyed on a failed (down) link.
+    LinkDown,
+    /// No loss found, but the flow's path was PFC-paused during the timer.
+    PfcStall,
+    /// Only reverse-direction (control) losses explain the timeout.
+    AckLoss,
+    /// No frame of this connection was ever lost: a spurious, queueing
+    /// delay-induced timeout (RTT exceeded the computed RTO).
+    Delay,
+    /// The forensics ring held no explanation.
+    Unknown,
+}
+
+impl RtoCause {
+    /// Every cause, in wire-tag order (fixed for deterministic iteration).
+    pub const ALL: [RtoCause; 9] = [
+        RtoCause::Color,
+        RtoCause::Dynamic,
+        RtoCause::Overflow,
+        RtoCause::Wire,
+        RtoCause::LinkDown,
+        RtoCause::PfcStall,
+        RtoCause::AckLoss,
+        RtoCause::Delay,
+        RtoCause::Unknown,
+    ];
+
+    /// Stable wire tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RtoCause::Color => "color",
+            RtoCause::Dynamic => "dt",
+            RtoCause::Overflow => "overflow",
+            RtoCause::Wire => "wire",
+            RtoCause::LinkDown => "down",
+            RtoCause::PfcStall => "pfc",
+            RtoCause::AckLoss => "ack",
+            RtoCause::Delay => "delay",
+            RtoCause::Unknown => "unknown",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn parse(s: &str) -> Option<RtoCause> {
+        Some(match s {
+            "color" => RtoCause::Color,
+            "dt" => RtoCause::Dynamic,
+            "overflow" => RtoCause::Overflow,
+            "wire" => RtoCause::Wire,
+            "down" => RtoCause::LinkDown,
+            "pfc" => RtoCause::PfcStall,
+            "ack" => RtoCause::AckLoss,
+            "delay" => RtoCause::Delay,
+            "unknown" => RtoCause::Unknown,
+            _ => return None,
+        })
+    }
+
+    /// The cause implied by a concrete packet drop.
+    pub fn from_drop(why: DropWhy) -> RtoCause {
+        match why {
+            DropWhy::Color => RtoCause::Color,
+            DropWhy::Dynamic => RtoCause::Dynamic,
+            DropWhy::Overflow => RtoCause::Overflow,
+            DropWhy::Wire => RtoCause::Wire,
+            DropWhy::LinkDown => RtoCause::LinkDown,
+        }
+    }
+}
+
+/// Per-cause RTO counters (the `rto_cause_*` breakdown), shared between the
+/// engine's aggregate stats and the [`TraceEvent::RunEnd`] declaration so an
+/// inspector can cross-check the trace against the run.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct RtoCauseCounts {
+    counts: [u64; RtoCause::ALL.len()],
+}
+
+impl RtoCauseCounts {
+    fn slot(cause: RtoCause) -> usize {
+        match cause {
+            RtoCause::Color => 0,
+            RtoCause::Dynamic => 1,
+            RtoCause::Overflow => 2,
+            RtoCause::Wire => 3,
+            RtoCause::LinkDown => 4,
+            RtoCause::PfcStall => 5,
+            RtoCause::AckLoss => 6,
+            RtoCause::Delay => 7,
+            RtoCause::Unknown => 8,
+        }
+    }
+
+    /// Records one attributed RTO.
+    pub fn bump(&mut self, cause: RtoCause) {
+        self.add(cause, 1);
+    }
+
+    /// Records `n` RTOs attributed to `cause`.
+    pub fn add(&mut self, cause: RtoCause, n: u64) {
+        self.counts[RtoCauseCounts::slot(cause)] += n;
+    }
+
+    /// The count attributed to `cause`.
+    pub fn get(&self, cause: RtoCause) -> u64 {
+        self.counts[RtoCauseCounts::slot(cause)]
+    }
+
+    /// Sum over every cause — must equal the run's total RTO count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// RTOs with a concrete (non-`Unknown`) root cause.
+    pub fn known(&self) -> u64 {
+        self.total() - self.get(RtoCause::Unknown)
+    }
+
+    /// Element-wise sum (deterministic multi-run merging).
+    pub fn merge(&mut self, other: &RtoCauseCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(cause, count)` pairs in fixed [`RtoCause::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (RtoCause, u64)> + '_ {
+        RtoCause::ALL.iter().map(|&c| (c, self.get(c)))
     }
 }
 
@@ -169,6 +322,8 @@ pub enum TraceEvent {
         pause_frames: u64,
         /// Retransmission timeouts taken by all flows.
         timeouts: u64,
+        /// Per-cause RTO attribution (must sum to `timeouts`).
+        rto_causes: RtoCauseCounts,
     },
     /// A flow began transmitting.
     FlowStart {
@@ -339,6 +494,22 @@ pub enum TraceEvent {
         /// Whether the port's transmitter is currently PFC-paused.
         paused: bool,
     },
+    /// Forensic attribution of one retransmission timeout to its root
+    /// cause, emitted by the engine right after the RTO fires.
+    RtoForensic {
+        /// Flow that took the timeout.
+        flow: u32,
+        /// Oldest unacknowledged byte at expiry.
+        seq: u64,
+        /// Attributed root cause.
+        cause: RtoCause,
+        /// Node where the root-cause event happened (0 when `Unknown`).
+        node: u32,
+        /// Port on that node (0 when `Unknown`).
+        port: u32,
+        /// When the root-cause event happened (the RTO time when `Unknown`).
+        root_at: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -366,6 +537,7 @@ impl TraceEvent {
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Reroute { .. } => "reroute",
             TraceEvent::PortSample { .. } => "port_sample",
+            TraceEvent::RtoForensic { .. } => "rto_cause",
         }
     }
 
@@ -390,6 +562,7 @@ impl TraceEvent {
                 down_drops,
                 pause_frames,
                 timeouts,
+                rto_causes,
             } => {
                 push_field(&mut s, "drops_color", *drops_color);
                 push_field(&mut s, "drops_dt", *drops_dt);
@@ -398,6 +571,11 @@ impl TraceEvent {
                 push_field(&mut s, "down_drops", *down_drops);
                 push_field(&mut s, "pause_frames", *pause_frames);
                 push_field(&mut s, "timeouts", *timeouts);
+                for (cause, n) in rto_causes.iter() {
+                    let mut key = String::from("rto_");
+                    key.push_str(cause.as_str());
+                    push_field(&mut s, &key, n);
+                }
             }
             TraceEvent::FlowStart { flow, bytes } => {
                 push_field(&mut s, "flow", u64::from(*flow));
@@ -497,6 +675,21 @@ impl TraceEvent {
                 push_field(&mut s, "q", *qlen);
                 push_bool_field(&mut s, "paused", *paused);
             }
+            TraceEvent::RtoForensic {
+                flow,
+                seq,
+                cause,
+                node,
+                port,
+                root_at,
+            } => {
+                push_field(&mut s, "flow", u64::from(*flow));
+                push_field(&mut s, "seq", *seq);
+                push_str_field(&mut s, "cause", cause.as_str());
+                push_field(&mut s, "node", u64::from(*node));
+                push_field(&mut s, "port", u64::from(*port));
+                push_field(&mut s, "root_at", root_at.as_ns());
+            }
         }
         s.push('}');
         s
@@ -523,6 +716,15 @@ impl TraceEvent {
                 down_drops: fields.num("down_drops")?,
                 pause_frames: fields.num("pause_frames")?,
                 timeouts: fields.num("timeouts")?,
+                rto_causes: {
+                    let mut rc = RtoCauseCounts::default();
+                    for cause in RtoCause::ALL {
+                        let mut key = String::from("rto_");
+                        key.push_str(cause.as_str());
+                        rc.add(cause, fields.num(&key)?);
+                    }
+                    rc
+                },
             },
             "flow_start" => TraceEvent::FlowStart {
                 flow: u32_of("flow")?,
@@ -616,6 +818,14 @@ impl TraceEvent {
                 port: u32_of("port")?,
                 qlen: fields.num("q")?,
                 paused: fields.boolean("paused")?,
+            },
+            "rto_cause" => TraceEvent::RtoForensic {
+                flow: u32_of("flow")?,
+                seq: fields.num("seq")?,
+                cause: RtoCause::parse(fields.str("cause")?)?,
+                node: u32_of("node")?,
+                port: u32_of("port")?,
+                root_at: SimTime::from_ns(fields.num("root_at")?),
             },
             _ => return None,
         };
@@ -823,6 +1033,12 @@ mod tests {
             down_drops: 7,
             pause_frames: 5,
             timeouts: 6,
+            rto_causes: {
+                let mut rc = RtoCauseCounts::default();
+                rc.bump(RtoCause::Color);
+                rc.add(RtoCause::AckLoss, 5);
+                rc
+            },
         });
         roundtrip(TraceEvent::FlowStart {
             flow: 9,
@@ -913,6 +1129,16 @@ mod tests {
             qlen: 10_480,
             paused: true,
         });
+        for cause in RtoCause::ALL {
+            roundtrip(TraceEvent::RtoForensic {
+                flow: 4,
+                seq: 8_640,
+                cause,
+                node: 1,
+                port: 2,
+                root_at: SimTime::from_us(73),
+            });
+        }
     }
 
     #[test]
@@ -946,6 +1172,54 @@ mod tests {
             ev.to_jsonl(SimTime::from_us(400)),
             r#"{"t":400000,"ev":"fault","kind":"link_down","node":50,"port":0}"#
         );
+        let ev = TraceEvent::RtoForensic {
+            flow: 7,
+            seq: 2880,
+            cause: RtoCause::PfcStall,
+            node: 0,
+            port: 3,
+            root_at: SimTime::from_ns(17),
+        };
+        assert_eq!(
+            ev.to_jsonl(SimTime::from_ns(99)),
+            r#"{"t":99,"ev":"rto_cause","flow":7,"seq":2880,"cause":"pfc","node":0,"port":3,"root_at":17}"#
+        );
+    }
+
+    #[test]
+    fn rto_cause_counts_sum_and_merge() {
+        let mut a = RtoCauseCounts::default();
+        a.bump(RtoCause::Color);
+        a.add(RtoCause::Wire, 3);
+        a.bump(RtoCause::Unknown);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.known(), 4);
+        assert_eq!(a.get(RtoCause::Wire), 3);
+        let mut b = RtoCauseCounts::default();
+        b.add(RtoCause::Wire, 2);
+        b.merge(&a);
+        assert_eq!(b.get(RtoCause::Wire), 5);
+        assert_eq!(b.total(), 7);
+        let listed: Vec<(RtoCause, u64)> = a.iter().collect();
+        assert_eq!(listed.len(), RtoCause::ALL.len());
+        assert_eq!(listed[0], (RtoCause::Color, 1));
+    }
+
+    #[test]
+    fn rto_cause_tags_roundtrip() {
+        for cause in RtoCause::ALL {
+            assert_eq!(RtoCause::parse(cause.as_str()), Some(cause));
+        }
+        assert_eq!(RtoCause::parse("nonsense"), None);
+        for why in [
+            DropWhy::Color,
+            DropWhy::Dynamic,
+            DropWhy::Overflow,
+            DropWhy::Wire,
+            DropWhy::LinkDown,
+        ] {
+            assert_eq!(RtoCause::from_drop(why).as_str(), why.as_str());
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::io::{self, BufRead};
 
 use eventsim::SimTime;
 
-use crate::event::{FaultKind, TraceEvent};
+use crate::event::{DropWhy, FaultKind, RtoCauseCounts, TraceEvent};
 use crate::sink::{CountingSink, NodeCounts, TraceCounts, TraceSink};
 
 /// One PFC pause episode on a switch ingress port.
@@ -59,6 +59,8 @@ pub struct DeclaredTotals {
     pub pause_frames: u64,
     /// Retransmission timeouts.
     pub timeouts: u64,
+    /// Per-cause RTO attribution.
+    pub rto_causes: RtoCauseCounts,
 }
 
 /// Summary of one `RunStart`..`RunEnd` bracket.
@@ -71,6 +73,10 @@ pub struct RunSummary {
     pub totals: TraceCounts,
     /// Counters per switch node.
     pub per_node: BTreeMap<u32, NodeCounts>,
+    /// Drop cross-tabulation: `(node, reason) -> count`.
+    pub drop_matrix: BTreeMap<(u32, DropWhy), u64>,
+    /// RTO root causes counted from `RtoForensic` events.
+    pub rto_causes: RtoCauseCounts,
     /// Totals the producer declared in `RunEnd` (`None` if the run was
     /// truncated before its `RunEnd`).
     pub declared: Option<DeclaredTotals>,
@@ -115,6 +121,30 @@ impl RunSummary {
         chk("down_drops", self.totals.drops_down, d.down_drops);
         chk("pause_frames", self.totals.pauses, d.pause_frames);
         chk("timeouts", self.totals.timeouts, d.timeouts);
+        // The forensic attribution stream must agree with the declared
+        // rto_cause_* breakdown, cause by cause.
+        for (cause, declared) in d.rto_causes.iter() {
+            let mut name = String::from("rto_cause_");
+            name.push_str(cause.as_str());
+            chk(&name, self.rto_causes.get(cause), declared);
+        }
+        // And the per-(node, reason) cross-tab must re-sum to the declared
+        // switch-local drop totals (wire/down drops can involve hosts and
+        // are checked via their totals above).
+        let column = |why: DropWhy| {
+            self.drop_matrix
+                .iter()
+                .filter(|((_, w), _)| *w == why)
+                .map(|(_, n)| n)
+                .sum::<u64>()
+        };
+        chk("matrix drops_color", column(DropWhy::Color), d.drops_color);
+        chk("matrix drops_dt", column(DropWhy::Dynamic), d.drops_dt);
+        chk(
+            "matrix drops_overflow",
+            column(DropWhy::Overflow),
+            d.drops_overflow,
+        );
         errs
     }
 
@@ -146,26 +176,48 @@ impl RunSummary {
             self.totals.timeouts,
             self.totals.fast_retx,
         );
+        if self.totals.timeouts > 0 || self.rto_causes.total() > 0 {
+            let causes = self
+                .rto_causes
+                .iter()
+                .filter(|(_, n)| *n > 0)
+                .map(|(c, n)| format!("{}={n}", c.as_str()))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                s,
+                "  rto causes: {} ({} of {} attributed)",
+                if causes.is_empty() { "-" } else { &causes },
+                self.rto_causes.known(),
+                self.totals.timeouts,
+            );
+        }
         if self
             .per_node
             .values()
-            .any(|n| n.switch_drops() + n.ce_marked + n.pauses > 0)
+            .any(|n| n.switch_drops() + n.drops_wire + n.drops_down + n.ce_marked + n.pauses > 0)
         {
+            // Full DropWhy x switch cross-tab (wire/down columns show
+            // frames lost while *this node* transmitted them).
             let _ = writeln!(
                 s,
-                "  {:>6} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8}",
-                "switch", "color", "dt", "overflow", "green", "ce", "xoff"
+                "  {:>6} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "node", "color", "dt", "overflow", "wire", "down", "green", "ce", "xoff"
             );
+            let cell =
+                |node: u32, why: DropWhy| self.drop_matrix.get(&(node, why)).copied().unwrap_or(0);
             for (node, n) in &self.per_node {
-                if n.switch_drops() + n.ce_marked + n.pauses == 0 {
+                if n.switch_drops() + n.drops_wire + n.drops_down + n.ce_marked + n.pauses == 0 {
                     continue;
                 }
                 let _ = writeln!(
                     s,
-                    "  {node:>6} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8}",
-                    n.drops_color,
-                    n.drops_dt,
-                    n.drops_overflow,
+                    "  {node:>6} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    cell(*node, DropWhy::Color),
+                    cell(*node, DropWhy::Dynamic),
+                    cell(*node, DropWhy::Overflow),
+                    cell(*node, DropWhy::Wire),
+                    cell(*node, DropWhy::LinkDown),
                     n.drops_green,
                     n.ce_marked,
                     n.pauses
@@ -367,6 +419,8 @@ impl RunBuilder {
             seed: self.seed,
             totals: self.counts.totals,
             per_node: self.counts.per_node,
+            drop_matrix: self.counts.drop_matrix,
+            rto_causes: self.counts.rto_causes,
             declared: self.declared,
             pauses: self.pauses,
             faults: self.faults,
@@ -404,6 +458,7 @@ pub fn inspect_str(text: &str) -> Report {
                 down_drops,
                 pause_frames,
                 timeouts,
+                rto_causes,
             } => match current.take() {
                 Some(mut b) => {
                     b.end_t = t;
@@ -415,6 +470,7 @@ pub fn inspect_str(text: &str) -> Report {
                         down_drops,
                         pause_frames,
                         timeouts,
+                        rto_causes,
                     });
                     report.runs.push(b.finish());
                 }
@@ -483,6 +539,7 @@ mod tests {
             down_drops: 0,
             pause_frames: 2,
             timeouts: 1,
+            rto_causes: Default::default(),
         });
         emit(TraceEvent::RunStart {
             label: "unit/two".into(),
@@ -496,6 +553,7 @@ mod tests {
             down_drops: 0,
             pause_frames: 0,
             timeouts: 0,
+            rto_causes: Default::default(),
         });
         String::from_utf8(sink.into_inner()).unwrap()
     }
@@ -525,8 +583,10 @@ mod tests {
         let report = inspect_str(&sample_trace(9));
         assert!(!report.is_clean());
         let errs = report.runs[0].check();
-        assert_eq!(errs.len(), 1, "{errs:?}");
+        // Both the global total and the per-switch cross-tab disagree.
+        assert_eq!(errs.len(), 2, "{errs:?}");
         assert!(errs[0].contains("drops_color"), "{errs:?}");
+        assert!(errs[1].contains("matrix drops_color"), "{errs:?}");
         assert!(report.render().contains("MISMATCH"));
     }
 
@@ -569,6 +629,7 @@ mod tests {
             down_drops: declared_down,
             pause_frames: 0,
             timeouts: 0,
+            rto_causes: Default::default(),
         });
         String::from_utf8(sink.into_inner()).unwrap()
     }
@@ -601,6 +662,69 @@ mod tests {
         let errs = report.runs[0].check();
         assert_eq!(errs.len(), 1, "{errs:?}");
         assert!(errs[0].contains("down_drops"), "{errs:?}");
+    }
+
+    /// A run with one timeout attributed by a forensic record.
+    fn forensic_trace(declared_pfc: u64) -> String {
+        use crate::event::RtoCause;
+        let mut sink = JsonlSink::new(Vec::new());
+        let mut t = 0u64;
+        let mut emit = |ev: TraceEvent| {
+            t += 10;
+            sink.record(SimTime::from_ns(t), &ev);
+        };
+        emit(TraceEvent::RunStart {
+            label: "forensic/one".into(),
+            seed: 8,
+        });
+        emit(TraceEvent::Timeout { flow: 3, seq: 2880 });
+        emit(TraceEvent::RtoForensic {
+            flow: 3,
+            seq: 2880,
+            cause: RtoCause::PfcStall,
+            node: 4,
+            port: 1,
+            root_at: SimTime::from_ns(5),
+        });
+        let mut rc = RtoCauseCounts::default();
+        rc.add(RtoCause::PfcStall, declared_pfc);
+        emit(TraceEvent::RunEnd {
+            drops_color: 0,
+            drops_dt: 0,
+            drops_overflow: 0,
+            wire_drops: 0,
+            down_drops: 0,
+            pause_frames: 0,
+            timeouts: 1,
+            rto_causes: rc,
+        });
+        String::from_utf8(sink.into_inner()).unwrap()
+    }
+
+    #[test]
+    fn forensic_events_cross_check_declared_causes() {
+        let report = inspect_str(&forensic_trace(1));
+        assert!(report.is_clean(), "{}", report.render());
+        let run = &report.runs[0];
+        assert_eq!(run.totals.timeouts, 1);
+        assert_eq!(run.totals.rto_forensics, 1);
+        assert_eq!(run.rto_causes.get(crate::event::RtoCause::PfcStall), 1);
+        assert_eq!(run.rto_causes.known(), 1);
+        let text = report.render();
+        assert!(
+            text.contains("rto causes: pfc=1 (1 of 1 attributed)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn forensic_cause_mismatch_is_flagged() {
+        // Declares zero pfc-attributed RTOs but the trace carries one.
+        let report = inspect_str(&forensic_trace(0));
+        assert!(!report.is_clean());
+        let errs = report.runs[0].check();
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert!(errs[0].contains("rto_cause_pfc"), "{errs:?}");
     }
 
     #[test]

@@ -47,11 +47,13 @@
 
 mod event;
 pub mod inspect;
+pub mod registry;
 mod series;
 mod sink;
 mod tracer;
 
-pub use event::{DropWhy, FaultKind, TimerId, TraceEvent};
+pub use event::{DropWhy, FaultKind, RtoCause, RtoCauseCounts, TimerId, TraceEvent};
+pub use registry::{Hist, Registry, METRICS_SCHEMA};
 pub use series::{PortKey, SeriesPoint, SeriesSink};
 pub use sink::{
     BufferSink, CountingSink, FanoutSink, JsonlSink, NodeCounts, RingSink, TraceCounts, TraceSink,

@@ -1,0 +1,797 @@
+//! A zero-dependency metrics registry: named counters, gauges, and
+//! fixed-bucket log-linear histograms.
+//!
+//! The registry exists so the simulation can report *distributional*
+//! telemetry (queue-depth occupancy, PFC pause durations) alongside plain
+//! counters, while preserving the repository's determinism contract:
+//!
+//! * Every structure is keyed by `BTreeMap`, so iteration — and therefore
+//!   the JSON/CSV export — is byte-stable across runs and across `--jobs N`.
+//! * Histograms use *fixed* log-linear buckets (exact below 16, then four
+//!   sub-buckets per power of two), so merging registries produced by
+//!   parallel workers is an element-wise sum with no data-dependent bucket
+//!   boundaries.
+//! * All arithmetic is integer; no floats touch the stored state.
+//!
+//! The export schema is `"tlt-metrics/v1"`; [`Registry::from_json`] parses
+//! it back so `trace_inspect --metrics` can render a file it did not write.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Export schema identifier written by [`Registry::to_json`].
+pub const METRICS_SCHEMA: &str = "tlt-metrics/v1";
+
+/// Number of fixed histogram buckets: 16 exact values (0..=15) plus four
+/// sub-buckets for each power of two from 2^4 through 2^63.
+pub const HIST_BUCKETS: usize = 16 + 60 * 4;
+
+/// Bucket index of a value (log-linear: exact below 16, then 4 sub-buckets
+/// per octave).
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros() as usize; // >= 4 here
+        let sub = ((v >> (octave - 2)) & 3) as usize;
+        16 + (octave - 4) * 4 + sub
+    }
+}
+
+/// Lower bound of bucket `idx` (the value reported for quantiles).
+fn bucket_lo(idx: usize) -> u64 {
+    if idx < 16 {
+        idx as u64
+    } else {
+        let rel = idx - 16;
+        let octave = 4 + rel / 4;
+        let sub = (rel % 4) as u64;
+        (1u64 << octave) + (sub << (octave - 2))
+    }
+}
+
+/// A fixed-bucket log-linear histogram of unsigned samples.
+///
+/// Relative bucket error is bounded by 1/4 above 16 and zero below it —
+/// coarse enough to stay tiny (256 buckets), precise enough for p99-style
+/// tail reporting of queue depths and pause durations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Hist {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Hist {
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Smallest observed value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean of the observed values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Lower bound of the bucket holding the `pct`-th percentile sample
+    /// (`pct` in 0..=100; integer arithmetic, so deterministic).
+    pub fn quantile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count - 1) * pct.min(100) / 100;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                return bucket_lo(i);
+            }
+        }
+        self.max
+    }
+
+    /// Element-wise merge (the multi-worker fold).
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (bucket_lo(i), *n))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from exported `(lower_bound, count)` pairs.
+    ///
+    /// Returns `None` if a lower bound is not an exact bucket boundary (the
+    /// export is corrupt) or the summary fields are inconsistent.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        pairs: &[(u64, u64)],
+    ) -> Option<Hist> {
+        let mut h = Hist {
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+            buckets: vec![0; HIST_BUCKETS],
+        };
+        let mut total = 0u64;
+        for &(lo, n) in pairs {
+            let idx = bucket_index(lo);
+            if bucket_lo(idx) != lo {
+                return None;
+            }
+            h.buckets[idx] += n;
+            total += n;
+        }
+        if total != count {
+            return None;
+        }
+        Some(h)
+    }
+}
+
+/// The registry: named counters (sum-merged), gauges (max-merged), and
+/// histograms (bucket-merged). See the module docs for the contract.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Hist>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self.counters.get_mut(name) {
+            Some(v) => *v += by,
+            None => {
+                self.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Raises gauge `name` to `v` if `v` is larger (watermark semantics —
+    /// the only gauge flavor that merges deterministically across workers).
+    pub fn gauge_max(&mut self, name: &str, v: u64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = (*g).max(v),
+            None => {
+                self.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Records one sample into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        match self.hists.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = Hist::default();
+                h.observe(v);
+                self.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name` (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram `name`, if any sample was recorded.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Hist)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters sum, gauges max, histograms
+    /// bucket-merge. Names present in either side survive, so folding the
+    /// per-worker registries in plan order reproduces the sequential result.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            self.inc(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_max(k, *v);
+        }
+        for (k, h) in &other.hists {
+            match self.hists.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.hists.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes as `tlt-metrics/v1` JSON (name-sorted, byte-stable).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n  \"schema\": \"");
+        s.push_str(METRICS_SCHEMA);
+        s.push_str("\",\n  \"counters\": {");
+        push_scalar_map(&mut s, &self.counters);
+        s.push_str("},\n  \"gauges\": {");
+        push_scalar_map(&mut s, &self.gauges);
+        s.push_str("},\n  \"hists\": {");
+        let mut first = true;
+        for (k, h) in &self.hists {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str("\n    ");
+            push_json_string(&mut s, k);
+            let _ = write!(
+                s,
+                ": {{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count,
+                h.sum,
+                h.min(),
+                h.max()
+            );
+            for (i, (lo, n)) in h.nonzero_buckets().iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{lo},{n}]");
+            }
+            s.push_str("]}");
+        }
+        if !self.hists.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Serializes as CSV (`kind,name,field,value`), for spreadsheet use.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("kind,name,field,value\n");
+        for (k, v) in &self.counters {
+            let _ = writeln!(s, "counter,{k},value,{v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(s, "gauge,{k},value,{v}");
+        }
+        for (k, h) in &self.hists {
+            let _ = writeln!(s, "hist,{k},count,{}", h.count);
+            let _ = writeln!(s, "hist,{k},sum,{}", h.sum);
+            let _ = writeln!(s, "hist,{k},min,{}", h.min());
+            let _ = writeln!(s, "hist,{k},max,{}", h.max());
+            let _ = writeln!(s, "hist,{k},p50,{}", h.quantile(50));
+            let _ = writeln!(s, "hist,{k},p99,{}", h.quantile(99));
+        }
+        s
+    }
+
+    /// Parses a `tlt-metrics/v1` JSON export.
+    ///
+    /// Returns `None` on malformed input or a wrong schema tag.
+    pub fn from_json(text: &str) -> Option<Registry> {
+        let mut p = Parser::new(text);
+        let mut reg = Registry::new();
+        let mut saw_schema = false;
+        p.expect('{')?;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "schema" => {
+                    if p.string()? != METRICS_SCHEMA {
+                        return None;
+                    }
+                    saw_schema = true;
+                }
+                "counters" => {
+                    for (k, v) in p.scalar_map()? {
+                        reg.counters.insert(k, v);
+                    }
+                }
+                "gauges" => {
+                    for (k, v) in p.scalar_map()? {
+                        reg.gauges.insert(k, v);
+                    }
+                }
+                "hists" => {
+                    p.expect('{')?;
+                    if !p.peek_close('}') {
+                        loop {
+                            let name = p.string()?;
+                            p.expect(':')?;
+                            let h = p.hist()?;
+                            reg.hists.insert(name, h);
+                            if !p.comma()? {
+                                break;
+                            }
+                        }
+                    }
+                    p.expect('}')?;
+                }
+                _ => return None,
+            }
+            if !p.comma()? {
+                break;
+            }
+        }
+        p.expect('}')?;
+        if !saw_schema {
+            return None;
+        }
+        Some(reg)
+    }
+
+    /// Renders a human-readable summary (used by `trace_inspect --metrics`).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "metrics ({METRICS_SCHEMA}): {} counters, {} gauges, {} hists",
+            self.counters.len(),
+            self.gauges.len(),
+            self.hists.len()
+        );
+        if !self.counters.is_empty() {
+            let _ = writeln!(s, "  counters:");
+            for (k, v) in &self.counters {
+                let _ = writeln!(s, "    {k:<42} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(s, "  gauges:");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(s, "    {k:<42} {v}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(
+                s,
+                "  hists: {:<36} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "", "count", "min", "p50", "p99", "max"
+            );
+            for (k, h) in &self.hists {
+                let _ = writeln!(
+                    s,
+                    "    {k:<42} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    h.count,
+                    h.min(),
+                    h.quantile(50),
+                    h.quantile(99),
+                    h.max()
+                );
+            }
+        }
+        s
+    }
+}
+
+fn push_scalar_map(s: &mut String, map: &BTreeMap<String, u64>) {
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str("\n    ");
+        push_json_string(s, k);
+        let _ = write!(s, ": {v}");
+    }
+    if !map.is_empty() {
+        s.push_str("\n  ");
+    }
+}
+
+fn push_json_string(s: &mut String, v: &str) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// A minimal cursor parser for the exact JSON shape `to_json` emits
+/// (objects of strings/numbers plus `[[lo,count],..]` bucket arrays).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    text: &'a str,
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            text,
+            i: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.bytes.len() && self.bytes[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.i) == Some(&(c as u8)) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// Consumes a comma if present; `Ok(false)` means the container ends.
+    fn comma(&mut self) -> Option<bool> {
+        self.skip_ws();
+        match self.bytes.get(self.i) {
+            Some(b',') => {
+                self.i += 1;
+                Some(true)
+            }
+            Some(b'}') | Some(b']') => Some(false),
+            _ => None,
+        }
+    }
+
+    fn peek_close(&mut self, c: char) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.i) == Some(&(c as u8))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let start = self.i;
+        while self.i < self.bytes.len() {
+            match self.bytes[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    let raw = &self.text[start..self.i];
+                    self.i += 1;
+                    return unescape(raw);
+                }
+                _ => self.i += 1,
+            }
+        }
+        None
+    }
+
+    fn number(&mut self) -> Option<u64> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.bytes.len() && self.bytes[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        self.text[start..self.i].parse().ok()
+    }
+
+    /// `{ "name": 1, ... }`
+    fn scalar_map(&mut self) -> Option<Vec<(String, u64)>> {
+        self.expect('{')?;
+        let mut out = Vec::new();
+        if !self.peek_close('}') {
+            loop {
+                let k = self.string()?;
+                self.expect(':')?;
+                let v = self.number()?;
+                out.push((k, v));
+                if !self.comma()? {
+                    break;
+                }
+            }
+        }
+        self.expect('}')?;
+        Some(out)
+    }
+
+    /// `{"count":N,"sum":N,"min":N,"max":N,"buckets":[[lo,n],..]}`
+    fn hist(&mut self) -> Option<Hist> {
+        self.expect('{')?;
+        let (mut count, mut sum, mut min, mut max) = (0, 0, 0, 0);
+        let mut pairs = Vec::new();
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            match key.as_str() {
+                "count" => count = self.number()?,
+                "sum" => sum = self.number()?,
+                "min" => min = self.number()?,
+                "max" => max = self.number()?,
+                "buckets" => {
+                    self.expect('[')?;
+                    if !self.peek_close(']') {
+                        loop {
+                            self.expect('[')?;
+                            let lo = self.number()?;
+                            self.expect(',')?;
+                            let n = self.number()?;
+                            self.expect(']')?;
+                            pairs.push((lo, n));
+                            if !self.comma()? {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(']')?;
+                }
+                _ => return None,
+            }
+            if !self.comma()? {
+                break;
+            }
+        }
+        self.expect('}')?;
+        Hist::from_parts(count, sum, min, max, &pairs)
+    }
+}
+
+fn unescape(raw: &str) -> Option<String> {
+    if !raw.contains('\\') {
+        return Some(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_self_consistent() {
+        let mut prev = None;
+        for idx in 0..HIST_BUCKETS {
+            let lo = bucket_lo(idx);
+            assert_eq!(bucket_index(lo), idx, "lo {lo} maps back to {idx}");
+            if let Some(p) = prev {
+                assert!(lo > p, "bucket {idx} lower bound not increasing");
+            }
+            prev = Some(lo);
+        }
+        // Values land in the bucket whose range covers them.
+        for v in [0, 1, 15, 16, 17, 100, 1_000, 1 << 20, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_lo(idx) <= v);
+            if idx + 1 < HIST_BUCKETS {
+                assert!(v < bucket_lo(idx + 1), "v {v} exceeds bucket {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn hist_summary_stats() {
+        let mut h = Hist::default();
+        assert_eq!((h.min(), h.max(), h.mean(), h.quantile(99)), (0, 0, 0, 0));
+        for v in [2u64, 4, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.min(), 2);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 252);
+        assert_eq!(h.quantile(0), 2);
+        assert_eq!(h.quantile(50), 4);
+        // p100 falls in the bucket containing 1000 (lower bound <= 1000).
+        assert!(h.quantile(100) <= 1000);
+        assert!(h.quantile(100) > 4);
+    }
+
+    #[test]
+    fn merge_matches_sequential_observation() {
+        let mut all = Hist::default();
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        for v in 0..100u64 {
+            all.observe(v * 37);
+            if v % 2 == 0 {
+                a.observe(v * 37);
+            } else {
+                b.observe(v * 37);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn registry_counters_gauges_hists() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.inc("pkts", 2);
+        r.inc("pkts", 3);
+        r.gauge_max("peak", 10);
+        r.gauge_max("peak", 4);
+        r.observe("lat", 100);
+        assert_eq!(r.counter("pkts"), 5);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("peak"), 10);
+        assert_eq!(r.hist("lat").unwrap().count, 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn registry_merge_is_sum_max_and_bucket_merge() {
+        let mut a = Registry::new();
+        a.inc("c", 1);
+        a.gauge_max("g", 5);
+        a.observe("h", 7);
+        let mut b = Registry::new();
+        b.inc("c", 2);
+        b.inc("only_b", 9);
+        b.gauge_max("g", 3);
+        b.observe("h", 100);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter("only_b"), 9);
+        assert_eq!(a.gauge("g"), 5);
+        assert_eq!(a.hist("h").unwrap().count, 2);
+        assert_eq!(a.hist("h").unwrap().max(), 100);
+    }
+
+    #[test]
+    fn json_roundtrips_and_is_stable() {
+        let mut r = Registry::new();
+        r.inc("rto_cause_color", 2);
+        r.inc("data_pkts", 1000);
+        r.gauge_max("port_queue_max/n0/p1", 48_000);
+        for v in [10u64, 20, 20, 5000] {
+            r.observe("pfc_pause_ns/n0/p1", v);
+        }
+        let json = r.to_json();
+        let back = Registry::from_json(&json).expect("parses");
+        assert_eq!(back, r);
+        // Byte-stable: re-serializing the parsed registry is identical.
+        assert_eq!(back.to_json(), json);
+        // Sanity on the wire shape.
+        assert!(json.contains("\"schema\": \"tlt-metrics/v1\""), "{json}");
+        assert!(json.contains("\"rto_cause_color\": 2"), "{json}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            r#"{"schema": "other/v9", "counters": {}, "gauges": {}, "hists": {}}"#,
+            r#"{"counters": {"a": 1}}"#, // no schema
+            r#"{"schema": "tlt-metrics/v1", "hists": {"h": {"count":2,"sum":0,"min":0,"max":0,"buckets":[[0,1]]}}}"#, // bucket total != count
+            r#"{"schema": "tlt-metrics/v1", "hists": {"h": {"count":1,"sum":17,"min":17,"max":17,"buckets":[[17,1]]}}}"#, // 17 is not a bucket boundary
+        ] {
+            assert!(Registry::from_json(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn csv_lists_every_metric() {
+        let mut r = Registry::new();
+        r.inc("c", 1);
+        r.gauge_max("g", 2);
+        r.observe("h", 3);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("kind,name,field,value\n"));
+        assert!(csv.contains("counter,c,value,1"));
+        assert!(csv.contains("gauge,g,value,2"));
+        assert!(csv.contains("hist,h,count,1"));
+        assert!(csv.contains("hist,h,p99,3"));
+    }
+
+    #[test]
+    fn render_mentions_each_section() {
+        let mut r = Registry::new();
+        r.inc("c", 1);
+        r.gauge_max("g", 2);
+        r.observe("h", 3);
+        let text = r.render();
+        assert!(text.contains("counters"));
+        assert!(text.contains("gauges"));
+        assert!(text.contains("hists"));
+        assert!(text.contains("h "), "{text}");
+    }
+}

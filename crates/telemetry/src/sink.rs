@@ -5,7 +5,7 @@ use std::io::{self, Write};
 
 use eventsim::SimTime;
 
-use crate::event::{DropWhy, TraceEvent};
+use crate::event::{DropWhy, RtoCauseCounts, TraceEvent};
 
 /// A consumer of trace events.
 ///
@@ -102,6 +102,9 @@ pub struct TraceCounts {
     pub faults: u64,
     /// Post-failure path re-pin attempts.
     pub reroutes: u64,
+    /// RTO forensic attributions ([`TraceEvent::RtoForensic`]) — one per
+    /// timeout when the producer ran the forensics pass.
+    pub rto_forensics: u64,
 }
 
 impl TraceCounts {
@@ -135,6 +138,7 @@ impl TraceCounts {
             TraceEvent::FlowEnd { .. } => self.flows_finished += 1,
             TraceEvent::Fault { .. } => self.faults += 1,
             TraceEvent::Reroute { .. } => self.reroutes += 1,
+            TraceEvent::RtoForensic { .. } => self.rto_forensics += 1,
             _ => {}
         }
     }
@@ -153,6 +157,12 @@ pub struct CountingSink {
     pub totals: TraceCounts,
     /// Counters keyed by switch node id (only events that carry a node).
     pub per_node: BTreeMap<u32, NodeCounts>,
+    /// Drop cross-tabulation: `(node, reason) -> count`. Every `Drop` event
+    /// lands here, so summing a reason's column reproduces the per-reason
+    /// total and summing a node's row reproduces that node's drop count.
+    pub drop_matrix: BTreeMap<(u32, DropWhy), u64>,
+    /// RTO root-cause counts accumulated from `RtoForensic` events.
+    pub rto_causes: RtoCauseCounts,
     /// Total events seen, including variants not individually counted.
     pub events: u64,
 }
@@ -178,6 +188,13 @@ impl TraceSink for CountingSink {
         self.totals.absorb(ev);
         if let Some(node) = CountingSink::node_of(ev) {
             self.per_node.entry(node).or_default().absorb(ev);
+        }
+        match ev {
+            TraceEvent::Drop { node, why, .. } => {
+                *self.drop_matrix.entry((*node, *why)).or_default() += 1;
+            }
+            TraceEvent::RtoForensic { cause, .. } => self.rto_causes.bump(*cause),
+            _ => {}
         }
     }
 }
@@ -393,6 +410,40 @@ mod tests {
         assert_eq!(c.per_node[&2].pauses, 1);
         // Timeout has no node, so it only lands in totals.
         assert!(c.per_node.values().all(|n| n.timeouts == 0));
+        // The drop matrix cross-tabulates every drop by (node, reason).
+        assert_eq!(c.drop_matrix[&(1, DropWhy::Color)], 1);
+        assert_eq!(c.drop_matrix[&(1, DropWhy::Dynamic)], 1);
+        assert_eq!(c.drop_matrix[&(2, DropWhy::Overflow)], 1);
+        assert_eq!(c.drop_matrix[&(2, DropWhy::Wire)], 1);
+        assert_eq!(c.drop_matrix.values().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn counting_sink_accumulates_rto_causes() {
+        use crate::event::RtoCause;
+        let mut c = CountingSink::default();
+        let t = SimTime::ZERO;
+        for (flow, cause) in [
+            (0, RtoCause::Color),
+            (1, RtoCause::Color),
+            (2, RtoCause::AckLoss),
+        ] {
+            c.record(
+                t,
+                &TraceEvent::RtoForensic {
+                    flow,
+                    seq: 0,
+                    cause,
+                    node: 0,
+                    port: 0,
+                    root_at: t,
+                },
+            );
+        }
+        assert_eq!(c.totals.rto_forensics, 3);
+        assert_eq!(c.rto_causes.get(RtoCause::Color), 2);
+        assert_eq!(c.rto_causes.get(RtoCause::AckLoss), 1);
+        assert_eq!(c.rto_causes.total(), 3);
     }
 
     #[test]

@@ -88,6 +88,9 @@ impl Ctx<'_> {
 pub struct SenderStats {
     /// Retransmission timeouts taken.
     pub timeouts: u64,
+    /// Sequence number the most recent RTO fired for (the oldest
+    /// unacknowledged byte at expiry); meaningless while `timeouts == 0`.
+    pub last_rto_seq: u64,
     /// Segments retransmitted by fast recovery (incl. NACK-triggered).
     pub fast_retx: u64,
     /// Segments retransmitted after an RTO.

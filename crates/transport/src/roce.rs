@@ -530,6 +530,7 @@ impl FlowSender for RoceSender {
             TimerKind::Pace => self.pump(ctx),
             TimerKind::Rto => {
                 self.stats.timeouts += 1;
+                self.stats.last_rto_seq = self.snd_una;
                 self.stats.rto_retx += 1;
                 self.tracer
                     .emit(ctx.now, || telemetry::TraceEvent::Timeout {

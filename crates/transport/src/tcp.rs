@@ -534,6 +534,7 @@ impl<C: CongestionControl> FlowSender for WindowSender<C> {
         match kind {
             TimerKind::Rto => {
                 self.stats.timeouts += 1;
+                self.stats.last_rto_seq = self.snd_una;
                 self.tracer
                     .emit(ctx.now, || telemetry::TraceEvent::Timeout {
                         flow: self.cfg.flow.0,

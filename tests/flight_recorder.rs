@@ -78,6 +78,15 @@ fn assert_counts_match(cfg: SimConfig, flows: Vec<dcsim::FlowSpec>) {
     assert_eq!(c.timeouts, agg.timeouts, "timeouts");
     assert_eq!(c.fast_retx, agg.fast_retx, "fast retransmissions");
     assert_eq!(c.flows_started, n_flows, "every flow emits flow_start");
+    // Every RTO is attributed: one forensic event per timeout, and the
+    // traced per-cause tallies equal the engine's aggregate attribution.
+    assert_eq!(c.rto_forensics, agg.timeouts, "one forensic per RTO");
+    assert_eq!(
+        sink.borrow().rto_causes,
+        agg.rto_causes,
+        "per-cause forensic tallies"
+    );
+    assert_eq!(agg.rto_causes.total(), agg.timeouts, "every RTO attributed");
 }
 
 #[test]
@@ -119,6 +128,7 @@ fn inspector_confirms_bracketed_run() {
         down_drops: agg.down_drops,
         pause_frames: agg.pause_frames,
         timeouts: agg.timeouts,
+        rto_causes: agg.rto_causes,
     });
     tracer.flush();
     drop(tracer);
