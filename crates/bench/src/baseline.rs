@@ -6,23 +6,17 @@
 //! single worker (`--jobs 1`) and once with the requested worker count —
 //! measuring wall-clock time and simulator events/sec for both, verifying
 //! that the parallel fold reproduces the sequential results exactly, and
-//! emitting a machine-readable JSON report (`BENCH_pr2.json`) so later PRs
-//! have a trajectory to be measured against.
-
-use std::time::Instant;
+//! emitting a machine-readable JSON report (`BENCH_pr6.json`; the PR-2
+//! seed lives in `BENCH_pr2.json`) so later PRs have a trajectory to be
+//! measured against — diff two reports with the `benchcmp` binary.
 
 use transport::TransportKind;
 use workload::{incast_burst, standard_mix, FlowSizeCdf};
 
-use crate::plan::{PlanOutput, RunPlan};
+use crate::plan::RunPlan;
+use crate::profiler::{self, Provenance, Timed};
 use crate::runner::{self, Args, SchemeResult, TcpVariant};
 use crate::simprof;
-
-/// Measurements of one workload at one worker count.
-struct Timed {
-    wall_ms: f64,
-    out: PlanOutput,
-}
 
 /// One workload's report line.
 pub struct WorkloadReport {
@@ -63,6 +57,9 @@ pub struct SuiteReport {
     pub scale: &'static str,
     /// Seeds per scheme.
     pub seeds: u64,
+    /// `release` or `debug` — provenance so `benchcmp` can refuse to diff
+    /// wall-clock numbers across build profiles.
+    pub build_profile: &'static str,
     /// Per-workload measurements.
     pub workloads: Vec<WorkloadReport>,
     /// `simprof` per-phase wall-time totals (empty unless the bench crate
@@ -105,6 +102,10 @@ impl SuiteReport {
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         s.push_str(&format!("  \"scale\": \"{}\",\n", self.scale));
         s.push_str(&format!("  \"seeds\": {},\n", self.seeds));
+        s.push_str(&format!(
+            "  \"build_profile\": \"{}\",\n",
+            self.build_profile
+        ));
         s.push_str("  \"workloads\": [\n");
         for (i, w) in self.workloads.iter().enumerate() {
             let events_per_sec = |ms: f64| {
@@ -268,16 +269,7 @@ fn results_equal(a: &[SchemeResult], b: &[SchemeResult]) -> bool {
 }
 
 fn timed(name: &str, args: &Args, jobs: usize) -> Timed {
-    let plan = build(name, args, jobs);
-    let (out, wall_ms) = {
-        let mut prof = simprof::scope(format!("{name}/jobs{jobs}"));
-        let start = Instant::now();
-        let out = plan.run_detailed();
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        prof.add_events(out.events_scheduled);
-        (out, wall_ms)
-    };
-    Timed { wall_ms, out }
+    profiler::timed(&format!("{name}/jobs{jobs}"), build(name, args, jobs))
 }
 
 /// Runs the whole suite: every workload sequentially and at
@@ -285,17 +277,23 @@ fn timed(name: &str, args: &Args, jobs: usize) -> Timed {
 /// cross-check.
 pub fn run_suite(args: &Args) -> SuiteReport {
     let jobs = args.effective_jobs();
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
     let mut workloads = Vec::new();
     for name in WORKLOADS {
         eprintln!("[bench_baseline] {name}: --jobs 1 ...");
         let seq = timed(name, args, 1);
         eprintln!("[bench_baseline] {name}: --jobs {jobs} ...");
         let par = timed(name, args, jobs);
+        // Determinism bar: parallel results, and (with the profile feature
+        // on) the entire event-level profile, must match the sequential
+        // run byte for byte.
+        let profiles_match = match (&seq.out.profile, &par.out.profile) {
+            (Some(a), Some(b)) => a.to_json() == b.to_json(),
+            (None, None) => true,
+            _ => false,
+        };
         let deterministic = results_equal(&seq.out.results, &par.out.results)
-            && seq.out.events_scheduled == par.out.events_scheduled;
+            && seq.out.events_scheduled == par.out.events_scheduled
+            && profiles_match;
         workloads.push(WorkloadReport {
             name,
             schemes: seq.out.results.len(),
@@ -307,16 +305,11 @@ pub fn run_suite(args: &Args) -> SuiteReport {
         });
     }
     SuiteReport {
-        cores,
+        cores: profiler::available_cores(),
         jobs,
-        scale: if args.full {
-            "full"
-        } else if args.quick {
-            "quick"
-        } else {
-            "default"
-        },
+        scale: profiler::scale_label(args),
         seeds: args.seeds,
+        build_profile: Provenance::build_profile_label(),
         workloads,
         profile: simprof::report(),
     }
@@ -342,6 +335,7 @@ mod tests {
             jobs: 4,
             scale: "quick",
             seeds: 1,
+            build_profile: "release",
             workloads: vec![WorkloadReport {
                 name: "tcp_family_mix",
                 schemes: 4,
@@ -364,6 +358,7 @@ mod tests {
         for key in [
             "\"schema\": \"tlt-bench-baseline/v1\"",
             "\"cores\": 4",
+            "\"build_profile\": \"release\"",
             "\"wall_ms_jobs1\": 100.000",
             "\"speedup\": 2.500",
             "\"events_scheduled\": 123456",

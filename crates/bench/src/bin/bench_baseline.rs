@@ -1,13 +1,17 @@
 //! The performance-baseline recorder: times a representative workload
 //! suite sequentially (`--jobs 1`) and in parallel, cross-checks that both
-//! produce identical results, and writes `BENCH_pr2.json`.
+//! produce identical results, and writes `BENCH_pr6.json`.
 //!
-//! This file is the start of the repo's perf trajectory: later PRs re-run
-//! the suite and are measured against the committed numbers.
+//! The committed reports form the repo's perf trajectory: later PRs re-run
+//! the suite and diff against them with the `benchcmp` binary. Built with
+//! `--features profile`, `--profile-out` additionally exports the merged
+//! event-level engine profile (`tlt-profile/v1`).
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_baseline              # BENCH_pr2.json
+//! cargo run --release -p bench --bin bench_baseline              # BENCH_pr6.json
 //! cargo run --release -p bench --bin bench_baseline -- --quick --out /tmp/b.json
+//! cargo run --release -p bench --features profile --bin bench_baseline -- \
+//!     --quick --profile-out /tmp/prof.json
 //! ```
 
 use bench::baseline;
@@ -57,7 +61,7 @@ fn main() {
         print!("{prof}");
     }
 
-    let path = args.out.as_deref().unwrap_or("BENCH_pr2.json");
+    let path = args.out.as_deref().unwrap_or("BENCH_pr6.json");
     std::fs::write(path, report.to_json()).expect("write baseline report");
     eprintln!("wrote {path}");
 

@@ -1,0 +1,113 @@
+//! Cross-run perf diff: compares two measurement artifacts and grades the
+//! deltas against a regression threshold.
+//!
+//! ```text
+//! benchcmp [--threshold-pct N] [--fail-on-regression] [--json] [--force] OLD NEW
+//! ```
+//!
+//! `OLD` and `NEW` are JSON files of the same schema: `tlt-bench-baseline/v1`
+//! (from `bench_baseline`), `tlt-profile/v1` (from `--profile-out`), or
+//! `tlt-metrics/v1` (from `--metrics-out`). Keys containing `wall_ms` are
+//! graded lower-is-better, `events_per_sec`/`speedup` higher-is-better, and
+//! everything else is informational.
+//!
+//! Exit codes: `0` compared cleanly (regressions are informational by
+//! default), `1` regressions found *and* `--fail-on-regression` was given,
+//! `2` usage error, unreadable/malformed input, or a provenance refusal
+//! (different `scale`/`build_profile`/`seeds`) without `--force`.
+
+use bench::benchcmp::{compare, load};
+
+struct Opts {
+    threshold_pct: f64,
+    fail_on_regression: bool,
+    json: bool,
+    force: bool,
+    old: String,
+    new: String,
+}
+
+const USAGE: &str =
+    "usage: benchcmp [--threshold-pct N] [--fail-on-regression] [--json] [--force] OLD NEW";
+
+fn parse_opts(argv: &[String]) -> Result<Opts, String> {
+    let mut threshold_pct = 5.0;
+    let mut fail_on_regression = false;
+    let mut json = false;
+    let mut force = false;
+    let mut files = Vec::new();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold-pct" => {
+                threshold_pct = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| *v >= 0.0)
+                    .ok_or("--threshold-pct needs a non-negative number")?;
+            }
+            "--fail-on-regression" => fail_on_regression = true,
+            "--json" => json = true,
+            "--force" => force = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"));
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    let [old, new] = <[String; 2]>::try_from(files)
+        .map_err(|_| format!("expected exactly two input files\n{USAGE}"))?;
+    Ok(Opts {
+        threshold_pct,
+        fail_on_regression,
+        json,
+        force,
+        old,
+        new,
+    })
+}
+
+fn read_doc(path: &str) -> Result<bench::benchcmp::Doc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    load(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let (old, new) = match (read_doc(&opts.old), read_doc(&opts.new)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchcmp: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let cmp = compare(&old, &new, opts.threshold_pct);
+    if let Some(reason) = &cmp.refusal {
+        if opts.force {
+            eprintln!("warning: comparing anyway (--force): {reason}");
+        } else {
+            eprintln!("benchcmp: refusing to compare: {reason} (use --force to override)");
+            std::process::exit(2);
+        }
+    }
+
+    if opts.json {
+        print!("{}", cmp.to_json());
+    } else {
+        println!("benchcmp: {} vs {} ({})", opts.old, opts.new, old.schema);
+        print!("{}", cmp.render());
+    }
+
+    if opts.fail_on_regression && cmp.regressions().count() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -17,7 +17,7 @@ use std::fs::File;
 use std::io::BufReader;
 
 use telemetry::inspect::inspect_reader;
-use telemetry::Registry;
+use telemetry::metrics_summary;
 
 const USAGE: &str = "usage: trace_inspect [--metrics metrics.json] <trace.jsonl>...";
 
@@ -73,12 +73,12 @@ fn main() {
             eprintln!("error: cannot open {path}: {e}");
             std::process::exit(2);
         });
-        let reg = Registry::from_json(&text).unwrap_or_else(|| {
-            eprintln!("error: cannot parse {path}: not a metrics-registry export");
+        let summary = metrics_summary(&text).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse {path}: {e}");
             std::process::exit(2);
         });
         println!("### metrics {path}");
-        print!("{}", reg.render());
+        print!("{summary}");
     }
     std::process::exit(if clean { 0 } else { 1 });
 }

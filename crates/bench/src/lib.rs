@@ -8,8 +8,11 @@
 //! threads with a deterministic fold (output is byte-identical under any
 //! `--jobs` value). The [`baseline`] module is the `bench_baseline`
 //! binary's workload suite, which records the wall-clock/events-per-second
-//! trajectory in `BENCH_pr2.json`. DESIGN.md carries the experiment index;
-//! EXPERIMENTS.md records paper-vs-measured values.
+//! trajectory in `BENCH_pr*.json`; [`benchcmp`] diffs two such reports (or
+//! two `tlt-profile/v1` exports) as the cross-run perf-regression gate, and
+//! [`profiler`] stamps every artifact with provenance metadata. DESIGN.md
+//! carries the experiment index; EXPERIMENTS.md records paper-vs-measured
+//! values.
 //!
 //! Run any experiment with, e.g.:
 //!
@@ -20,6 +23,8 @@
 //! ```
 
 pub mod baseline;
+pub mod benchcmp;
 pub mod plan;
+pub mod profiler;
 pub mod runner;
 pub mod simprof;

@@ -21,7 +21,7 @@ use std::sync::Mutex;
 
 use dcsim::{FlowSpec, SimConfig};
 use eventsim::SimTime;
-use telemetry::Registry;
+use telemetry::{Profile, Registry};
 
 use crate::runner::{self, Args, MixOutcome, SchemeResult};
 
@@ -38,6 +38,7 @@ struct JobOut {
     outcome: MixOutcome,
     trace: Option<Vec<u8>>,
     metrics: Option<Registry>,
+    profile: Option<Profile>,
 }
 
 /// Everything a finished plan knows beyond the per-scheme metrics.
@@ -52,6 +53,12 @@ pub struct PlanOutput {
     /// metrics were off). When a global `--metrics` export is installed the
     /// merge has already been folded into it.
     pub metrics: Option<Registry>,
+    /// Engine profiles of every job, merged in plan order. `Some` only when
+    /// the `profile` feature is compiled in (the engine emits one per run);
+    /// byte-identical under any `--jobs` value. When a global
+    /// `--profile-out` export is installed the merge has already been
+    /// folded into it.
+    pub profile: Option<Profile>,
     /// Simulator events scheduled, summed over every job.
     pub events_scheduled: u64,
     /// Number of (scheme, seed) jobs executed.
@@ -180,10 +187,12 @@ impl<'a> RunPlan<'a> {
             let (mut res, trace) =
                 runner::buffered_run(&spec.name, cfg, flows, trace_on, sample_every, metrics_on);
             let metrics = res.metrics.take();
+            let profile = res.profile.take();
             JobOut {
                 outcome: MixOutcome::from_result(res),
                 trace,
                 metrics,
+                profile,
             }
         };
 
@@ -220,6 +229,7 @@ impl<'a> RunPlan<'a> {
             .collect();
         let mut trace = Vec::new();
         let mut merged = metrics_on.then(Registry::new);
+        let mut profile: Option<Profile> = None;
         let mut events_scheduled = 0u64;
         for (slot, &(si, _seed)) in slots.iter().zip(&jobs) {
             let out = slot.lock().unwrap().take().expect("every job completed");
@@ -231,6 +241,9 @@ impl<'a> RunPlan<'a> {
             if let (Some(m), Some(r)) = (&mut merged, &out.metrics) {
                 m.merge(r);
             }
+            if let Some(p) = &out.profile {
+                profile.get_or_insert_with(Profile::new).merge(p);
+            }
         }
         if global.is_some() {
             runner::append_trace(&trace);
@@ -240,10 +253,14 @@ impl<'a> RunPlan<'a> {
                 runner::merge_metrics(m);
             }
         }
+        if let Some(p) = &profile {
+            runner::merge_profile(p);
+        }
         PlanOutput {
             results,
             trace,
             metrics: merged,
+            profile,
             events_scheduled,
             jobs_run: jobs.len(),
             workers,
@@ -327,6 +344,35 @@ mod tests {
         );
         assert_eq!(seq, par, "metrics JSON differs under --jobs");
         assert_eq!(par, again, "metrics JSON differs across identical runs");
+    }
+
+    /// The acceptance bar for the engine profiler: the plan-order fold
+    /// makes the `tlt-profile/v1` export byte-identical under any worker
+    /// count, and the per-kind accounting covers every scheduled event.
+    #[test]
+    #[cfg(feature = "profile")]
+    fn plan_profiles_are_byte_identical_across_jobs_and_account_all_events() {
+        let run = |jobs: usize| tiny_plan(jobs).run_detailed();
+        let seq = run(1);
+        let par = run(4);
+        let p = seq.profile.as_ref().expect("profile feature is on");
+        assert_eq!(
+            p.reg.counter("events_scheduled_total"),
+            seq.events_scheduled,
+            "profiler counted a different event total than the engine"
+        );
+        assert_eq!(
+            p.reg.counter("events_executed_total") + p.reg.counter("events_cancelled_total"),
+            p.reg.counter("events_scheduled_total")
+        );
+        let a = p.to_json();
+        let b = par.profile.as_ref().unwrap().to_json();
+        assert!(a.contains("tlt-profile/v1"));
+        assert!(a.contains("event_sched/deliver"));
+        assert_eq!(a, b, "profile JSON differs under --jobs");
+        // And it round-trips through its own parser.
+        let parsed = Profile::from_json(&a).expect("self-parse");
+        assert_eq!(parsed.to_json(), a);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use eventsim::SimTime;
 use netsim::topology::TopologySpec;
 use netsim::LinkSpec;
 use netstats::{summarize_flows, FctSummary, Metric};
-use telemetry::{BufferSink, Registry, TraceEvent, Tracer};
+use telemetry::{BufferSink, Profile, Registry, TraceEvent, Tracer};
 use transport::{RtoMode, TransportKind};
 use workload::MixParams;
 
@@ -42,6 +42,9 @@ pub struct Args {
     /// Optional metrics-registry export path (`.csv` for CSV, JSON
     /// otherwise).
     pub metrics: Option<String>,
+    /// Optional engine-profile export path (`tlt-profile/v1` JSON).
+    /// Meaningful only when built with `--features profile`.
+    pub profile_out: Option<String>,
 }
 
 impl Default for Args {
@@ -55,6 +58,7 @@ impl Default for Args {
             trace: None,
             trace_sample_ns: None,
             metrics: None,
+            profile_out: None,
         }
     }
 }
@@ -77,6 +81,30 @@ impl Args {
         }
         if let Some(path) = &args.metrics {
             init_metrics(path);
+        }
+        if let Some(path) = &args.profile_out {
+            if !cfg!(feature = "profile") {
+                eprintln!(
+                    "warning: --profile-out was given but the bench crate was built \
+                     without --features profile; {path} will stay empty"
+                );
+            }
+            init_profile(path);
+        }
+        // Stamp provenance into the deterministic exports before any run
+        // merges in (meta merges first-wins, so the stamp is pinned).
+        if args.metrics.is_some() || args.profile_out.is_some() {
+            let prov = crate::profiler::Provenance::deterministic(&args);
+            if args.metrics.is_some() {
+                let mut r = Registry::new();
+                prov.stamp(&mut r);
+                merge_metrics(&r);
+            }
+            if args.profile_out.is_some() {
+                let mut p = Profile::new();
+                prov.stamp_profile(&mut p);
+                merge_profile(&p);
+            }
         }
         args
     }
@@ -115,6 +143,9 @@ impl Args {
                 }
                 "--metrics" => {
                     args.metrics = Some(it.next().ok_or("--metrics needs a path")?);
+                }
+                "--profile-out" => {
+                    args.profile_out = Some(it.next().ok_or("--profile-out needs a path")?);
                 }
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown flag {other}")),
@@ -164,7 +195,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--full] [--quick] [--seeds N] [--jobs N] [--out file.csv] \
-         [--trace file.jsonl] [--trace-sample-ns N] [--metrics file.json]"
+         [--trace file.jsonl] [--trace-sample-ns N] [--metrics file.json] \
+         [--profile-out file.json]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
@@ -268,6 +300,44 @@ fn write_metrics(state: &mut MetricsOut) {
         .unwrap_or_else(|e| usage(&format!("cannot write metrics file {}: {e}", state.path)));
 }
 
+/// Process-wide engine-profile export installed by [`init_profile`]: the
+/// merged `tlt-profile/v1` document plus its output path. Mirrors the
+/// metrics export: rewritten after every merge, byte-identical under any
+/// `--jobs` value because merges happen in plan order.
+struct ProfileOut {
+    path: String,
+    prof: Profile,
+}
+
+static PROFILE: Mutex<Option<ProfileOut>> = Mutex::new(None);
+
+/// Routes every subsequent simulation's engine profile into `path` as
+/// `tlt-profile/v1` JSON. Only runs built with the `profile` feature
+/// produce profiles; without it the export holds just the provenance
+/// stamp. [`Args::parse`] calls this when `--profile-out` is present.
+pub fn init_profile(path: &str) {
+    let mut state = ProfileOut {
+        path: path.to_string(),
+        prof: Profile::new(),
+    };
+    write_profile(&mut state);
+    *PROFILE.lock().unwrap() = Some(state);
+}
+
+/// Merges one run's (or one plan's) engine profile into the installed
+/// export and rewrites the file. No-op when `--profile-out` is off.
+pub(crate) fn merge_profile(prof: &Profile) {
+    if let Some(state) = PROFILE.lock().unwrap().as_mut() {
+        state.prof.merge(prof);
+        write_profile(state);
+    }
+}
+
+fn write_profile(state: &mut ProfileOut) {
+    std::fs::write(&state.path, state.prof.to_json())
+        .unwrap_or_else(|e| usage(&format!("cannot write profile file {}: {e}", state.path)));
+}
+
 /// Runs one simulation, recording it into a private buffer when `trace` is
 /// on and populating [`SimResult::metrics`] when `metrics` is on. Each
 /// traced run is bracketed by `run_start` (with `label` and the config's
@@ -337,6 +407,9 @@ pub fn traced_run(label: &str, cfg: SimConfig, flows: Vec<FlowSpec>) -> SimResul
     }
     if let Some(r) = &res.metrics {
         merge_metrics(r);
+    }
+    if let Some(p) = &res.profile {
+        merge_profile(p);
     }
     res
 }
@@ -604,6 +677,8 @@ mod tests {
             "1000",
             "--metrics",
             "m.json",
+            "--profile-out",
+            "p.json",
         ])
         .unwrap();
         assert!(a.full);
@@ -614,6 +689,7 @@ mod tests {
         assert_eq!(a.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(a.trace_sample_ns, Some(1000));
         assert_eq!(a.metrics.as_deref(), Some("m.json"));
+        assert_eq!(a.profile_out.as_deref(), Some("p.json"));
     }
 
     /// Regression: `--seeds 0` used to be accepted, making the `1..=0`

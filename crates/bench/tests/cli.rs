@@ -1,0 +1,142 @@
+//! End-to-end tests for the harness binaries' error paths and exit codes:
+//! `trace_inspect --metrics` must fail loudly (exit 2, positional
+//! diagnostic) on malformed or truncated registry exports, and `benchcmp`
+//! must diff two reports, refuse provenance mismatches without `--force`,
+//! and gate regressions only under `--fail-on-regression`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tmp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("tlt-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp fixture");
+    path
+}
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin).args(args).output().expect("spawn binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A minimal well-formed `tlt-metrics/v1` export.
+fn metrics_json() -> String {
+    let mut reg = telemetry::Registry::new();
+    reg.inc("data_pkts_sent", 128);
+    reg.gauge_max("queue_peak_bytes", 9000);
+    reg.observe("fct_us", 250);
+    reg.to_json()
+}
+
+#[test]
+fn trace_inspect_rejects_malformed_metrics_with_diagnostic() {
+    let bin = env!("CARGO_BIN_EXE_trace_inspect");
+
+    // Outright garbage: exit 2 and a parse diagnostic naming the file.
+    let garbage = tmp("garbage.json", "this is not json {{{");
+    let out = run(bin, &["--metrics", garbage.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("cannot parse"), "diagnostic missing: {err}");
+    assert!(err.contains("garbage.json"), "file name missing: {err}");
+
+    // A truncated export (simulating a crashed producer) also exits 2 —
+    // every prefix of a valid document must fail cleanly, never render a
+    // partial registry as if it were complete.
+    let good = metrics_json();
+    let truncated = tmp("truncated.json", &good[..good.len() / 2]);
+    let out = run(bin, &["--metrics", truncated.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("invalid tlt-metrics JSON"));
+
+    // The intact export still renders and exits 0.
+    let intact = tmp("intact.json", &good);
+    let out = run(bin, &["--metrics", intact.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("data_pkts_sent"));
+
+    for p in [garbage, truncated, intact] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+fn bench_report(wall_ms: f64, build_profile: &str) -> String {
+    format!(
+        "{{\n  \"schema\": \"tlt-bench-baseline/v1\",\n  \"generated_by\": \"bench_baseline\",\n\
+         \x20 \"cores\": 8,\n  \"jobs\": 8,\n  \"scale\": \"quick\",\n  \"seeds\": 3,\n\
+         \x20 \"build_profile\": \"{build_profile}\",\n\
+         \x20 \"workloads\": [\n    {{\"name\": \"incast_micro\", \"wall_ms_jobs1\": {wall_ms:.3}, \
+         \"wall_ms_jobsn\": {:.3}, \"speedup\": 2.0, \"events_scheduled\": 1000}}\n  ],\n\
+         \x20 \"total\": {{\"wall_ms_jobs1\": {wall_ms:.3}}}\n}}\n",
+        wall_ms / 2.0
+    )
+}
+
+#[test]
+fn benchcmp_diffs_grades_and_refuses() {
+    let bin = env!("CARGO_BIN_EXE_benchcmp");
+    let old = tmp("cmp-old.json", &bench_report(100.0, "release"));
+    let slower = tmp("cmp-slow.json", &bench_report(150.0, "release"));
+    let debug = tmp("cmp-debug.json", &bench_report(100.0, "debug"));
+    let (old_p, slower_p, debug_p) = (
+        old.to_str().unwrap(),
+        slower.to_str().unwrap(),
+        debug.to_str().unwrap(),
+    );
+
+    // Same file against itself: clean table, exit 0.
+    let out = run(bin, &[old_p, old_p]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("0 regression(s)"));
+
+    // +50% wall time: reported as a regression, but informational by default.
+    let out = run(bin, &["--threshold-pct", "10", old_p, slower_p]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("REGRESSION"));
+
+    // ... and a gate with --fail-on-regression.
+    let out = run(
+        bin,
+        &[
+            "--threshold-pct",
+            "10",
+            "--fail-on-regression",
+            old_p,
+            slower_p,
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+
+    // --json output carries the machine-readable verdict.
+    let out = run(bin, &["--threshold-pct", "10", "--json", old_p, slower_p]);
+    assert_eq!(out.status.code(), Some(0));
+    let js = stdout(&out);
+    assert!(js.contains("\"schema\": \"tlt-benchcmp/v1\""));
+    // All three wall_ms keys (workload jobs1/jobsN and the total) moved +50%.
+    assert!(js.contains("\"regressions\": 3"), "json: {js}");
+
+    // debug-vs-release provenance: refuse without --force, warn with it.
+    let out = run(bin, &[old_p, debug_p]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("build_profile"));
+    let out = run(bin, &["--force", old_p, debug_p]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+
+    // Malformed input and bad usage both exit 2.
+    let bad = tmp("cmp-bad.json", "{\"schema\": ");
+    let out = run(bin, &[old_p, bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(bin, &[old_p]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+
+    for p in [old, slower, debug, bad] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -150,6 +150,9 @@ pub struct SimResult {
     /// The metrics registry, populated when [`Engine::set_metrics`] was
     /// called before the run (`None` otherwise).
     pub metrics: Option<Registry>,
+    /// The engine profile (per-event-kind tallies, queue health, sim-time
+    /// series). `Some` only when the `profile` feature is compiled in.
+    pub profile: Option<telemetry::Profile>,
 }
 
 enum Event {
@@ -184,6 +187,26 @@ enum Event {
     },
     /// Re-pin flows whose paths cross downed links.
     Reroute,
+}
+
+#[cfg(feature = "profile")]
+impl Event {
+    /// The profiler's kind bucket for this event.
+    fn kind(&self) -> crate::profile::EvKind {
+        use crate::profile::EvKind;
+        match self {
+            Event::FlowStart(_) => EvKind::FlowStart,
+            Event::TxDone { .. } => EvKind::TxDone,
+            Event::Deliver { .. } => EvKind::Deliver,
+            Event::Timer { .. } => EvKind::Timer,
+            Event::PfcSet { .. } => EvKind::PfcSet,
+            Event::QueueSample => EvKind::QueueSample,
+            Event::TraceSample => EvKind::TraceSample,
+            Event::Fault(_) => EvKind::Fault,
+            Event::StormEnd { .. } => EvKind::StormEnd,
+            Event::Reroute => EvKind::Reroute,
+        }
+    }
 }
 
 /// Maps a transport timer slot onto the telemetry schema's id.
@@ -314,6 +337,11 @@ pub struct Engine {
     /// drain time.
     #[cfg(feature = "strict-invariants")]
     ledger: crate::ledger::ConservationLedger,
+    /// Event-level profiler: per-kind schedule/execute tallies, fan-out and
+    /// queue-depth histograms, and sim-time series. Created in `new` (like
+    /// the ledger) so constructor-time scheduling is counted too.
+    #[cfg(feature = "profile")]
+    prof: crate::profile::EngineProf,
 }
 
 impl Engine {
@@ -374,6 +402,11 @@ impl Engine {
         let bdp = link.bdp_bytes(base_rtt).max(u64::from(cfg.mss) * 4);
 
         let mut queue = EventQueue::with_capacity(specs.len() * 4 + 16);
+        // Constructor-time scheduling happens before the engine (and its
+        // `sched` shim) exists, so the profiler is created here and bumped
+        // at each local schedule site.
+        #[cfg(feature = "profile")]
+        let mut prof = crate::profile::EngineProf::new();
         let mut flows = Vec::with_capacity(specs.len());
         for (i, spec) in specs.into_iter().enumerate() {
             assert_ne!(spec.src, spec.dst, "flow {i}: src == dst");
@@ -383,6 +416,8 @@ impl Engine {
             let (path_fwd, path_rev) = topo.pin_paths(src, dst, hash);
             let (sender, receiver) =
                 build_transport(&cfg, FlowId(i as u32), spec.bytes, base_rtt, bdp);
+            #[cfg(feature = "profile")]
+            prof.on_sched(crate::profile::EvKind::FlowStart);
             queue.schedule(spec.start, Event::FlowStart(i as u32));
             flows.push(FlowRuntime {
                 spec,
@@ -401,6 +436,8 @@ impl Engine {
             });
         }
         if let Some(every) = cfg.queue_sample_every {
+            #[cfg(feature = "profile")]
+            prof.on_sched(crate::profile::EvKind::QueueSample);
             queue.schedule(every, Event::QueueSample);
         }
 
@@ -428,6 +465,8 @@ impl Engine {
                     "fault {i}: pause storms target a switch ingress"
                 );
             }
+            #[cfg(feature = "profile")]
+            prof.on_sched(crate::profile::EvKind::Fault);
             queue.schedule(ev.at, Event::Fault(i as u32));
         }
 
@@ -435,6 +474,8 @@ impl Engine {
             cfg,
             #[cfg(feature = "strict-invariants")]
             ledger: crate::ledger::ConservationLedger::new(topo.link_count()),
+            #[cfg(feature = "profile")]
+            prof,
             topo,
             switches,
             ports,
@@ -472,7 +513,7 @@ impl Engine {
         }
         if tracer.is_on() {
             if let Some(every) = self.cfg.trace_sample_every {
-                self.queue.schedule(every, Event::TraceSample);
+                self.sched(every, Event::TraceSample);
             }
         }
         self.tracer = tracer;
@@ -515,6 +556,32 @@ impl Engine {
         });
     }
 
+    /// Schedules `ev` at `at`, counting it in the profiler. Every
+    /// post-construction schedule site routes through here — `finish()`
+    /// debug-asserts that the per-kind tallies sum to the queue's own
+    /// `scheduled_total`, so a bypassing call site is caught in tests.
+    #[inline]
+    fn sched(&mut self, at: SimTime, ev: Event) {
+        #[cfg(feature = "profile")]
+        self.prof.on_sched(ev.kind());
+        self.queue.schedule(at, ev);
+    }
+
+    /// Sum of all switch egress queue bytes (the profiler's occupancy
+    /// series sample).
+    #[cfg(feature = "profile")]
+    fn total_queue_bytes(&self) -> u64 {
+        self.switches
+            .iter()
+            .flatten()
+            .map(|sw| {
+                (0..sw.config().ports)
+                    .map(|p| sw.queue_bytes(PortId(p as u32)))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
     /// The base RTT the engine derived for this topology.
     pub fn base_rtt(&self) -> SimTime {
         self.base_rtt
@@ -553,9 +620,23 @@ impl Engine {
 
         while let Some((t, ev)) = self.queue.pop() {
             if t > self.cfg.max_time {
+                // Popped past the horizon without executing: cancelled,
+                // like everything still in the queue (drained in collect).
+                #[cfg(feature = "profile")]
+                self.prof.on_unpopped(ev.kind());
                 break;
             }
             self.now = t;
+            #[cfg(feature = "profile")]
+            let prof_kind = ev.kind();
+            // Fan-out proxy: how many events this handler schedules.
+            #[cfg(feature = "profile")]
+            let prof_sched_before = self.queue.scheduled_total();
+            #[cfg(feature = "profile")]
+            if self.prof.window_due(t) {
+                let qbytes = self.total_queue_bytes();
+                self.prof.on_window(t, qbytes);
+            }
             match ev {
                 Event::FlowStart(f) => {
                     let bytes = self.flows[f as usize].spec.bytes;
@@ -583,6 +664,11 @@ impl Engine {
                 Event::Timer { flow, kind, gen } => {
                     let slot = timer_slot(kind);
                     let live = self.flows[flow as usize].timer_gen[slot] == gen;
+                    #[cfg(feature = "profile")]
+                    if !live {
+                        // Generation mismatch: this pop is a cancellation.
+                        self.prof.note_stale_timer();
+                    }
                     if live {
                         self.flows[flow as usize].timer_armed[slot] = false;
                         self.tracer.emit(t, || TraceEvent::TimerFire {
@@ -663,7 +749,7 @@ impl Engine {
                     queue_samples.push(max_q as f64);
                     if let Some(every) = self.cfg.queue_sample_every {
                         if remaining > 0 {
-                            self.queue.schedule(t + every, Event::QueueSample);
+                            self.sched(t + every, Event::QueueSample);
                         }
                     }
                 }
@@ -683,7 +769,7 @@ impl Engine {
                     }
                     if let Some(every) = self.cfg.trace_sample_every {
                         if remaining > 0 {
-                            self.queue.schedule(t + every, Event::TraceSample);
+                            self.sched(t + every, Event::TraceSample);
                         }
                     }
                 }
@@ -702,6 +788,12 @@ impl Engine {
                     }
                 }
                 Event::Reroute => self.reroute_flows(),
+            }
+            #[cfg(feature = "profile")]
+            {
+                let fanout = self.queue.scheduled_total() - prof_sched_before;
+                self.prof
+                    .on_pop(prof_kind, t, fanout, self.queue.len() as u64);
             }
             if remaining == 0 {
                 break;
@@ -834,12 +926,29 @@ impl Engine {
             r.gauge_max("max_queue_bytes", agg.max_queue_bytes);
             m.reg
         });
+        // Seal the profiler: everything still queued (post-horizon samples,
+        // disarmed timers, events orphaned by the all-flows-done break) is
+        // cancelled-by-truncation. Queue health counters are snapshotted
+        // first so the accounting drain itself isn't measured.
+        #[cfg(feature = "profile")]
+        let profile = {
+            let peak = self.queue.peak_len() as u64;
+            let pushes = self.queue.scheduled_total();
+            let pops = self.queue.pops_total();
+            while let Some((_, ev)) = self.queue.pop() {
+                self.prof.on_unpopped(ev.kind());
+            }
+            Some(self.prof.finish(peak, pushes, pops))
+        };
+        #[cfg(not(feature = "profile"))]
+        let profile = None;
         let forensics = std::mem::take(&mut self.forensics);
         SimResult {
             flows,
             agg,
             forensics,
             metrics,
+            profile,
         }
     }
 
@@ -875,6 +984,10 @@ impl Engine {
                 return false;
             }
             // Endpoint: hand to the transport.
+            #[cfg(feature = "profile")]
+            {
+                self.prof.deliver_endpoint += 1;
+            }
             let mut ctx = Ctx {
                 now: self.now,
                 actions: &mut self.actions,
@@ -903,6 +1016,10 @@ impl Engine {
         if path[h].node != to {
             self.destroy_frame(to, in_port, &pkt);
             return false;
+        }
+        #[cfg(feature = "profile")]
+        {
+            self.prof.deliver_transit += 1;
         }
         let egress = path[h].port;
         let mut pkt = pkt;
@@ -960,8 +1077,9 @@ impl Engine {
         };
         let (_, rec) = self.topo.link_from(node, ingress);
         let (up_node, up_port) = rec.to;
-        self.queue.schedule(
-            self.now + rec.spec.delay,
+        let delay = rec.spec.delay;
+        self.sched(
+            self.now + delay,
             Event::PfcSet {
                 node: up_node,
                 port: up_port,
@@ -995,8 +1113,7 @@ impl Engine {
         #[cfg(feature = "strict-invariants")]
         self.ledger.on_tx(lid.0 as usize, wire);
         self.ports[n][port.0 as usize].busy = true;
-        self.queue
-            .schedule(self.now + tx, Event::TxDone { node, port });
+        self.sched(self.now + tx, Event::TxDone { node, port });
         // Link failure: the port still spends the serialization time, but
         // the frame goes onto a dead wire and is destroyed.
         if self.faults.is_down(lid) {
@@ -1056,7 +1173,7 @@ impl Engine {
         }
         #[cfg(feature = "strict-invariants")]
         self.ledger.on_scheduled(lid.0 as usize, wire);
-        self.queue.schedule(
+        self.sched(
             self.now + tx + spec.delay,
             Event::Deliver {
                 to: to.0,
@@ -1069,6 +1186,10 @@ impl Engine {
     /// Destroys a frame lost to a link fault (downed wire or a path made
     /// stale by a reroute), attributing it in the trace and counters.
     fn destroy_frame(&mut self, node: NodeId, port: PortId, pkt: &Packet) {
+        #[cfg(feature = "profile")]
+        {
+            self.prof.deliver_destroyed += 1;
+        }
         self.faults.down_drops += 1;
         #[cfg(feature = "strict-invariants")]
         self.ledger.account_drop(DropWhy::LinkDown);
@@ -1208,7 +1329,7 @@ impl Engine {
                     port: port.0,
                 });
                 if let Some(d) = reroute_after {
-                    self.queue.schedule(self.now + d, Event::Reroute);
+                    self.sched(self.now + d, Event::Reroute);
                 }
             }
             FaultAction::LinkUp => {
@@ -1244,8 +1365,7 @@ impl Engine {
                 if let Some(sig) = sw.storm_xoff(port, now) {
                     self.send_pfc(node, sig);
                 }
-                self.queue
-                    .schedule(now + duration, Event::StormEnd { node, port });
+                self.sched(now + duration, Event::StormEnd { node, port });
             }
         }
     }
@@ -1295,12 +1415,20 @@ impl Engine {
     /// Cancels every armed timer of flow `f` (fixed slot order, so the
     /// trace and generation bumps are deterministic).
     fn disarm_timers(&mut self, f: u32) {
+        #[cfg(feature = "profile")]
+        {
+            self.prof.disarm_sweeps += 1;
+        }
         for kind in TIMER_KINDS {
             let s = timer_slot(kind);
             let rt = &mut self.flows[f as usize];
             if rt.timer_armed[s] {
                 rt.timer_gen[s] += 1;
                 rt.timer_armed[s] = false;
+                #[cfg(feature = "profile")]
+                {
+                    self.prof.disarm_cancels += 1;
+                }
                 self.tracer.emit(self.now, || TraceEvent::TimerCancel {
                     flow: f,
                     kind: timer_id(kind),
@@ -1341,7 +1469,7 @@ impl Engine {
                         kind: timer_id(kind),
                         at,
                     });
-                    self.queue.schedule(at, Event::Timer { flow: f, kind, gen });
+                    self.sched(at, Event::Timer { flow: f, kind, gen });
                 }
                 Action::CancelTimer { kind } => {
                     let rt = &mut self.flows[f as usize];
@@ -1459,6 +1587,60 @@ mod tests {
         assert_eq!(res.agg.timeouts, 0);
         assert_eq!(res.agg.drops_dt, 0);
         assert!(res.agg.events_scheduled > 0, "work accounting populated");
+    }
+
+    /// Every scheduled event must be accounted as executed, stale, or
+    /// unpopped, with the component split covering every pop — exercised
+    /// on an incast with timers, PFC, and sampling all active.
+    #[test]
+    #[cfg(feature = "profile")]
+    fn profile_accounts_every_scheduled_event() {
+        let run = || {
+            let mut cfg =
+                SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(9));
+            cfg.switch.buffer_bytes = 100_000;
+            cfg.queue_sample_every = Some(SimTime::from_us(10));
+            let flows: Vec<FlowSpec> = (1..9)
+                .map(|s| FlowSpec::new(s, 0, 60_000, SimTime::ZERO, true))
+                .collect();
+            Engine::new(cfg, flows).run()
+        };
+        let res = run();
+        let p = res.profile.as_ref().expect("profile feature is on");
+        let r = &p.reg;
+        let sched = r.counter("events_scheduled_total");
+        assert_eq!(sched, res.agg.events_scheduled, "profiler missed a site");
+        assert_eq!(
+            r.counter("events_executed_total") + r.counter("events_cancelled_total"),
+            sched
+        );
+        let kind_sched: u64 = crate::profile::EvKind::ALL
+            .iter()
+            .map(|k| r.counter(&format!("event_sched/{}", k.name())))
+            .sum();
+        assert_eq!(kind_sched, sched);
+        assert_eq!(r.counter("event_sched/flow_start"), 8);
+        assert_eq!(r.counter("event_exec/flow_start"), 8);
+        // Component attribution covers every executed-or-stale pop.
+        let comp: u64 = ["switch", "link", "transport", "timer", "fault", "sampler"]
+            .iter()
+            .map(|c| r.counter(&format!("component_exec/{c}")))
+            .sum();
+        let popped = r.counter("events_executed_total") + {
+            crate::profile::EvKind::ALL
+                .iter()
+                .map(|k| r.counter(&format!("event_stale/{}", k.name())))
+                .sum::<u64>()
+        };
+        assert_eq!(comp, popped);
+        assert!(r.gauge("queue_peak_depth") > 0);
+        assert_eq!(r.counter("queue_pushes"), sched);
+        // The events series saw exactly the popped (executed + stale) events.
+        assert_eq!(p.series_get("events").unwrap().total_count(), popped);
+        assert!(p.series_get("inflight_pkts").unwrap().total_count() > 0);
+        // Determinism: a second identical run serializes byte-identically.
+        let again = run();
+        assert_eq!(p.to_json(), again.profile.as_ref().unwrap().to_json());
     }
 
     #[test]

@@ -35,6 +35,8 @@ mod config;
 mod engine;
 #[cfg(feature = "strict-invariants")]
 pub mod ledger;
+#[cfg(feature = "profile")]
+pub mod profile;
 
 pub use config::{small_single_switch, FlowSpec, SimConfig, SwitchParams, TltSettings};
 pub use engine::{AggregateStats, Engine, SimResult};

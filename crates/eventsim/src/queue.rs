@@ -34,6 +34,13 @@ pub struct EventQueue<E> {
     /// mysteriously different figure three layers up.
     #[cfg(feature = "strict-invariants")]
     last_pop: Option<(SimTime, u64)>,
+    /// Profiling: high-water mark of pending events, the number a
+    /// calendar/radix-queue replacement has to beat.
+    #[cfg(feature = "profile")]
+    peak_len: usize,
+    /// Profiling: events popped so far (push churn is `scheduled_total`).
+    #[cfg(feature = "profile")]
+    pops: u64,
 }
 
 #[derive(Debug)]
@@ -68,6 +75,10 @@ impl<E> EventQueue<E> {
             seq: 0,
             #[cfg(feature = "strict-invariants")]
             last_pop: None,
+            #[cfg(feature = "profile")]
+            peak_len: 0,
+            #[cfg(feature = "profile")]
+            pops: 0,
         }
     }
 
@@ -78,6 +89,10 @@ impl<E> EventQueue<E> {
             seq: 0,
             #[cfg(feature = "strict-invariants")]
             last_pop: None,
+            #[cfg(feature = "profile")]
+            peak_len: 0,
+            #[cfg(feature = "profile")]
+            pops: 0,
         }
     }
 
@@ -91,11 +106,19 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { at, seq, event }));
+        #[cfg(feature = "profile")]
+        {
+            self.peak_len = self.peak_len.max(self.heap.len());
+        }
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        #[cfg(feature = "profile")]
+        if !self.heap.is_empty() {
+            self.pops += 1;
+        }
         self.heap.pop().map(|Reverse(e)| {
             #[cfg(feature = "strict-invariants")]
             {
@@ -135,6 +158,20 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn scheduled_total(&self) -> u64 {
         self.seq
+    }
+
+    /// Profiling: the deepest the queue has ever been.
+    #[cfg(feature = "profile")]
+    #[inline]
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Profiling: total successful pops (so pending = scheduled - popped).
+    #[cfg(feature = "profile")]
+    #[inline]
+    pub fn pops_total(&self) -> u64 {
+        self.pops
     }
 }
 
@@ -233,6 +270,27 @@ mod tests {
         assert!(q.pop().is_some());
         q.schedule(SimTime::from_ns(5), "time traveler");
         let _ = q.pop();
+    }
+
+    /// Queue-health stats track the high-water mark and pop churn.
+    #[test]
+    #[cfg(feature = "profile")]
+    fn profile_tracks_peak_depth_and_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!((q.peak_len(), q.pops_total()), (0, 0));
+        for t in 0..5u64 {
+            q.schedule(SimTime::from_ns(t), t);
+        }
+        assert_eq!(q.peak_len(), 5);
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        q.schedule(SimTime::from_ns(9), 9);
+        // Peak stays at the high-water mark; failed pops don't count.
+        assert_eq!(q.peak_len(), 5);
+        while q.pop().is_some() {}
+        assert!(q.pop().is_none());
+        assert_eq!(q.pops_total(), 6);
+        assert_eq!(q.scheduled_total(), 6);
     }
 
     /// Every scheduled event is popped exactly once.

@@ -22,6 +22,11 @@
 //! per-switch drop-reason tables, a PFC pause timeline, and a consistency
 //! check against the run-end totals the producer declared.
 //!
+//! The [`registry`] module holds the `tlt-metrics/v1` counters / gauges /
+//! histograms, and the [`profile`] module the `tlt-profile/v1` engine
+//! profiles (per-event-kind tallies plus bounded sim-time [`TimeSeries`]);
+//! both merge deterministically in plan order.
+//!
 //! Everything is `std`-only: the crate must build with no registry access.
 //!
 //! # Examples
@@ -47,13 +52,17 @@
 
 mod event;
 pub mod inspect;
+pub mod profile;
 pub mod registry;
 mod series;
 mod sink;
 mod tracer;
 
 pub use event::{DropWhy, FaultKind, RtoCause, RtoCauseCounts, TimerId, TraceEvent};
-pub use registry::{Hist, Registry, METRICS_SCHEMA};
+pub use profile::{
+    Profile, SeriesBucket, TimeSeries, PROFILE_SCHEMA, SERIES_BASE_WINDOW_NS, SERIES_MAX_BUCKETS,
+};
+pub use registry::{metrics_summary, Hist, Registry, METRICS_SCHEMA};
 pub use series::{PortKey, SeriesPoint, SeriesSink};
 pub use sink::{
     BufferSink, CountingSink, FanoutSink, JsonlSink, NodeCounts, RingSink, TraceCounts, TraceSink,

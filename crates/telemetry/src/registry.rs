@@ -13,8 +13,14 @@
 //!   boundaries.
 //! * All arithmetic is integer; no floats touch the stored state.
 //!
-//! The export schema is `"tlt-metrics/v1"`; [`Registry::from_json`] parses
-//! it back so `trace_inspect --metrics` can render a file it did not write.
+//! Each registry also carries a `meta` section of string provenance
+//! (`build_profile`, `cores`, `jobs`, `scale`, …) so downstream tools like
+//! `benchcmp` can refuse apples-to-oranges comparisons. Meta merges
+//! first-wins: the fold keeps the provenance of the run that stamped it.
+//!
+//! The export schema is `"tlt-metrics/v1"`; [`Registry::parse`] parses it
+//! back — with a positional diagnostic on failure — so `trace_inspect
+//! --metrics` can render (or cleanly reject) a file it did not write.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -148,7 +154,8 @@ impl Hist {
     /// Rebuilds a histogram from exported `(lower_bound, count)` pairs.
     ///
     /// Returns `None` if a lower bound is not an exact bucket boundary (the
-    /// export is corrupt) or the summary fields are inconsistent.
+    /// export is corrupt), a count overflows, or the summary fields are
+    /// inconsistent.
     pub fn from_parts(
         count: u64,
         sum: u64,
@@ -169,8 +176,8 @@ impl Hist {
             if bucket_lo(idx) != lo {
                 return None;
             }
-            h.buckets[idx] += n;
-            total += n;
+            h.buckets[idx] = h.buckets[idx].checked_add(n)?;
+            total = total.checked_add(n)?;
         }
         if total != count {
             return None;
@@ -180,9 +187,11 @@ impl Hist {
 }
 
 /// The registry: named counters (sum-merged), gauges (max-merged), and
-/// histograms (bucket-merged). See the module docs for the contract.
+/// histograms (bucket-merged), plus string provenance metadata
+/// (first-wins-merged). See the module docs for the contract.
 #[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct Registry {
+    meta: BTreeMap<String, String>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     hists: BTreeMap<String, Hist>,
@@ -227,6 +236,33 @@ impl Registry {
         }
     }
 
+    /// Folds a prebuilt histogram into `name` (creating it when absent) —
+    /// lets hot paths accumulate into a local [`Hist`] with no name lookup
+    /// and publish once at the end of the run.
+    pub fn merge_hist(&mut self, name: &str, h: &Hist) {
+        match self.hists.get_mut(name) {
+            Some(mine) => mine.merge(h),
+            None => {
+                self.hists.insert(name.to_string(), h.clone());
+            }
+        }
+    }
+
+    /// Stamps provenance metadata `key` = `value` (overwriting).
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        self.meta.insert(key.to_string(), value.to_string());
+    }
+
+    /// Provenance value for `key`, if stamped.
+    pub fn meta_get(&self, key: &str) -> Option<&str> {
+        self.meta.get(key).map(|v| v.as_str())
+    }
+
+    /// All provenance metadata in key order.
+    pub fn meta(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.meta.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
     /// Current value of counter `name` (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -257,15 +293,22 @@ impl Registry {
         self.hists.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Whether nothing has been recorded.
+    /// Whether nothing has been *recorded* (provenance metadata alone does
+    /// not count — an empty run stays empty even after stamping).
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
     }
 
     /// Folds `other` into `self`: counters sum, gauges max, histograms
-    /// bucket-merge. Names present in either side survive, so folding the
-    /// per-worker registries in plan order reproduces the sequential result.
+    /// bucket-merge, meta first-wins. Names present in either side survive,
+    /// so folding the per-worker registries in plan order reproduces the
+    /// sequential result.
     pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.meta {
+            if !self.meta.contains_key(k) {
+                self.meta.insert(k.clone(), v.clone());
+            }
+        }
         for (k, v) in &other.counters {
             self.inc(k, *v);
         }
@@ -287,10 +330,25 @@ impl Registry {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n  \"schema\": \"");
         s.push_str(METRICS_SCHEMA);
-        s.push_str("\",\n  \"counters\": {");
-        push_scalar_map(&mut s, &self.counters);
+        s.push('"');
+        self.push_body(&mut s);
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Writes the shared body sections (`meta` when non-empty, then
+    /// `counters`/`gauges`/`hists`) starting with a leading comma, so both
+    /// the metrics and profile schemas wrap the same section encoder.
+    pub(crate) fn push_body(&self, s: &mut String) {
+        if !self.meta.is_empty() {
+            s.push_str(",\n  \"meta\": {");
+            push_string_map(s, &self.meta);
+            s.push('}');
+        }
+        s.push_str(",\n  \"counters\": {");
+        push_scalar_map(s, &self.counters);
         s.push_str("},\n  \"gauges\": {");
-        push_scalar_map(&mut s, &self.gauges);
+        push_scalar_map(s, &self.gauges);
         s.push_str("},\n  \"hists\": {");
         let mut first = true;
         for (k, h) in &self.hists {
@@ -299,7 +357,7 @@ impl Registry {
             }
             first = false;
             s.push_str("\n    ");
-            push_json_string(&mut s, k);
+            push_json_string(s, k);
             let _ = write!(
                 s,
                 ": {{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
@@ -319,13 +377,15 @@ impl Registry {
         if !self.hists.is_empty() {
             s.push_str("\n  ");
         }
-        s.push_str("}\n}\n");
-        s
+        s.push('}');
     }
 
     /// Serializes as CSV (`kind,name,field,value`), for spreadsheet use.
     pub fn to_csv(&self) -> String {
         let mut s = String::from("kind,name,field,value\n");
+        for (k, v) in &self.meta {
+            let _ = writeln!(s, "meta,{k},value,{v}");
+        }
         for (k, v) in &self.counters {
             let _ = writeln!(s, "counter,{k},value,{v}");
         }
@@ -343,10 +403,9 @@ impl Registry {
         s
     }
 
-    /// Parses a `tlt-metrics/v1` JSON export.
-    ///
-    /// Returns `None` on malformed input or a wrong schema tag.
-    pub fn from_json(text: &str) -> Option<Registry> {
+    /// Parses a `tlt-metrics/v1` JSON export, reporting *why* (and roughly
+    /// where) a malformed or truncated file was rejected.
+    pub fn parse(text: &str) -> Result<Registry, String> {
         let mut p = Parser::new(text);
         let mut reg = Registry::new();
         let mut saw_schema = false;
@@ -354,49 +413,35 @@ impl Registry {
         loop {
             let key = p.string()?;
             p.expect(':')?;
-            match key.as_str() {
-                "schema" => {
-                    if p.string()? != METRICS_SCHEMA {
-                        return None;
-                    }
-                    saw_schema = true;
+            if key == "schema" {
+                let got = p.string()?;
+                if got != METRICS_SCHEMA {
+                    return Err(format!(
+                        "schema mismatch: expected {METRICS_SCHEMA:?}, found {got:?}"
+                    ));
                 }
-                "counters" => {
-                    for (k, v) in p.scalar_map()? {
-                        reg.counters.insert(k, v);
-                    }
-                }
-                "gauges" => {
-                    for (k, v) in p.scalar_map()? {
-                        reg.gauges.insert(k, v);
-                    }
-                }
-                "hists" => {
-                    p.expect('{')?;
-                    if !p.peek_close('}') {
-                        loop {
-                            let name = p.string()?;
-                            p.expect(':')?;
-                            let h = p.hist()?;
-                            reg.hists.insert(name, h);
-                            if !p.comma()? {
-                                break;
-                            }
-                        }
-                    }
-                    p.expect('}')?;
-                }
-                _ => return None,
+                saw_schema = true;
+            } else if !parse_body_key(&mut p, &mut reg, &key)? {
+                return Err(format!("unknown key {key:?} in metrics JSON"));
             }
             if !p.comma()? {
                 break;
             }
         }
         p.expect('}')?;
+        p.end()?;
         if !saw_schema {
-            return None;
+            return Err("missing \"schema\" key".to_string());
         }
-        Some(reg)
+        Ok(reg)
+    }
+
+    /// Parses a `tlt-metrics/v1` JSON export.
+    ///
+    /// Returns `None` on malformed input or a wrong schema tag; use
+    /// [`Registry::parse`] when the caller wants the diagnostic.
+    pub fn from_json(text: &str) -> Option<Registry> {
+        Registry::parse(text).ok()
     }
 
     /// Renders a human-readable summary (used by `trace_inspect --metrics`).
@@ -409,6 +454,12 @@ impl Registry {
             self.gauges.len(),
             self.hists.len()
         );
+        if !self.meta.is_empty() {
+            let _ = writeln!(s, "  meta:");
+            for (k, v) in &self.meta {
+                let _ = writeln!(s, "    {k:<42} {v}");
+            }
+        }
         if !self.counters.is_empty() {
             let _ = writeln!(s, "  counters:");
             for (k, v) in &self.counters {
@@ -443,7 +494,60 @@ impl Registry {
     }
 }
 
-fn push_scalar_map(s: &mut String, map: &BTreeMap<String, u64>) {
+/// Parses and renders a metrics file, with a human-friendly diagnostic on
+/// failure — the `trace_inspect --metrics` entry point, factored out so it
+/// is unit-testable against corrupted input.
+pub fn metrics_summary(text: &str) -> Result<String, String> {
+    let reg = Registry::parse(text).map_err(|e| format!("invalid tlt-metrics JSON: {e}"))?;
+    Ok(reg.render())
+}
+
+/// Dispatches one top-level body key (`meta`/`counters`/`gauges`/`hists`)
+/// into `reg`. `Ok(false)` means the key is not a body section; the caller
+/// decides whether that is an error. Shared by the metrics and profile
+/// schema parsers.
+pub(crate) fn parse_body_key(
+    p: &mut Parser,
+    reg: &mut Registry,
+    key: &str,
+) -> Result<bool, String> {
+    match key {
+        "meta" => {
+            for (k, v) in p.string_map()? {
+                reg.meta.insert(k, v);
+            }
+        }
+        "counters" => {
+            for (k, v) in p.scalar_map()? {
+                reg.counters.insert(k, v);
+            }
+        }
+        "gauges" => {
+            for (k, v) in p.scalar_map()? {
+                reg.gauges.insert(k, v);
+            }
+        }
+        "hists" => {
+            p.expect('{')?;
+            if !p.peek_close('}') {
+                loop {
+                    let name = p.string()?;
+                    p.expect(':')?;
+                    let h = p.hist().map_err(|e| format!("hist {name:?}: {e}"))?;
+                    reg.hists.insert(name, h);
+                    if !p.comma()? {
+                        break;
+                    }
+                }
+            }
+            p.expect('}')?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+pub(crate) fn push_scalar_map(s: &mut String, map: &BTreeMap<String, u64>) {
     let mut first = true;
     for (k, v) in map {
         if !first {
@@ -459,7 +563,24 @@ fn push_scalar_map(s: &mut String, map: &BTreeMap<String, u64>) {
     }
 }
 
-fn push_json_string(s: &mut String, v: &str) {
+pub(crate) fn push_string_map(s: &mut String, map: &BTreeMap<String, String>) {
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str("\n    ");
+        push_json_string(s, k);
+        s.push_str(": ");
+        push_json_string(s, v);
+    }
+    if !map.is_empty() {
+        s.push_str("\n  ");
+    }
+}
+
+pub(crate) fn push_json_string(s: &mut String, v: &str) {
     s.push('"');
     for c in v.chars() {
         match c {
@@ -477,18 +598,33 @@ fn push_json_string(s: &mut String, v: &str) {
 
 /// A minimal cursor parser for the exact JSON shape `to_json` emits
 /// (objects of strings/numbers plus `[[lo,count],..]` bucket arrays).
-struct Parser<'a> {
+/// Every method reports failures as `Err(diagnostic)` — never a panic —
+/// so truncated or corrupt files surface as clean error messages.
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     text: &'a str,
     i: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Parser<'a> {
+    pub(crate) fn new(text: &'a str) -> Parser<'a> {
         Parser {
             bytes: text.as_bytes(),
             text,
             i: 0,
+        }
+    }
+
+    fn fail<T>(&self, what: &str) -> Result<T, String> {
+        let end = (self.i + 24).min(self.bytes.len());
+        let near = String::from_utf8_lossy(&self.bytes[self.i..end]);
+        if self.i >= self.bytes.len() {
+            Err(format!(
+                "{what} at byte {} (unexpected end of input)",
+                self.i
+            ))
+        } else {
+            Err(format!("{what} at byte {} (near {near:?})", self.i))
         }
     }
 
@@ -498,35 +634,45 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, c: char) -> Option<()> {
+    pub(crate) fn expect(&mut self, c: char) -> Result<(), String> {
         self.skip_ws();
         if self.bytes.get(self.i) == Some(&(c as u8)) {
             self.i += 1;
-            Some(())
+            Ok(())
         } else {
-            None
+            self.fail(&format!("expected {c:?}"))
         }
     }
 
     /// Consumes a comma if present; `Ok(false)` means the container ends.
-    fn comma(&mut self) -> Option<bool> {
+    pub(crate) fn comma(&mut self) -> Result<bool, String> {
         self.skip_ws();
         match self.bytes.get(self.i) {
             Some(b',') => {
                 self.i += 1;
-                Some(true)
+                Ok(true)
             }
-            Some(b'}') | Some(b']') => Some(false),
-            _ => None,
+            Some(b'}') | Some(b']') => Ok(false),
+            _ => self.fail("expected ',' or a closing bracket"),
         }
     }
 
-    fn peek_close(&mut self, c: char) -> bool {
+    pub(crate) fn peek_close(&mut self, c: char) -> bool {
         self.skip_ws();
         self.bytes.get(self.i) == Some(&(c as u8))
     }
 
-    fn string(&mut self) -> Option<String> {
+    /// Fails unless only whitespace remains.
+    pub(crate) fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.i < self.bytes.len() {
+            self.fail("trailing data after document")
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, String> {
         self.expect('"')?;
         let start = self.i;
         while self.i < self.bytes.len() {
@@ -535,25 +681,34 @@ impl<'a> Parser<'a> {
                 b'"' => {
                     let raw = &self.text[start..self.i];
                     self.i += 1;
-                    return unescape(raw);
+                    return match unescape(raw) {
+                        Some(s) => Ok(s),
+                        None => self.fail("bad string escape"),
+                    };
                 }
                 _ => self.i += 1,
             }
         }
-        None
+        self.fail("unterminated string")
     }
 
-    fn number(&mut self) -> Option<u64> {
+    pub(crate) fn number(&mut self) -> Result<u64, String> {
         self.skip_ws();
         let start = self.i;
         while self.i < self.bytes.len() && self.bytes[self.i].is_ascii_digit() {
             self.i += 1;
         }
-        self.text[start..self.i].parse().ok()
+        if start == self.i {
+            return self.fail("expected a number");
+        }
+        match self.text[start..self.i].parse() {
+            Ok(v) => Ok(v),
+            Err(_) => self.fail("number out of range"),
+        }
     }
 
     /// `{ "name": 1, ... }`
-    fn scalar_map(&mut self) -> Option<Vec<(String, u64)>> {
+    pub(crate) fn scalar_map(&mut self) -> Result<Vec<(String, u64)>, String> {
         self.expect('{')?;
         let mut out = Vec::new();
         if !self.peek_close('}') {
@@ -568,11 +723,30 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect('}')?;
-        Some(out)
+        Ok(out)
+    }
+
+    /// `{ "name": "value", ... }`
+    pub(crate) fn string_map(&mut self) -> Result<Vec<(String, String)>, String> {
+        self.expect('{')?;
+        let mut out = Vec::new();
+        if !self.peek_close('}') {
+            loop {
+                let k = self.string()?;
+                self.expect(':')?;
+                let v = self.string()?;
+                out.push((k, v));
+                if !self.comma()? {
+                    break;
+                }
+            }
+        }
+        self.expect('}')?;
+        Ok(out)
     }
 
     /// `{"count":N,"sum":N,"min":N,"max":N,"buckets":[[lo,n],..]}`
-    fn hist(&mut self) -> Option<Hist> {
+    pub(crate) fn hist(&mut self) -> Result<Hist, String> {
         self.expect('{')?;
         let (mut count, mut sum, mut min, mut max) = (0, 0, 0, 0);
         let mut pairs = Vec::new();
@@ -601,14 +775,20 @@ impl<'a> Parser<'a> {
                     }
                     self.expect(']')?;
                 }
-                _ => return None,
+                _ => return self.fail(&format!("unknown hist field {key:?}")),
             }
             if !self.comma()? {
                 break;
             }
         }
         self.expect('}')?;
-        Hist::from_parts(count, sum, min, max, &pairs)
+        match Hist::from_parts(count, sum, min, max, &pairs) {
+            Some(h) => Ok(h),
+            None => Err(
+                "bucket data inconsistent with summary (bad boundary, count mismatch, or overflow)"
+                    .to_string(),
+            ),
+        }
     }
 }
 
@@ -661,6 +841,67 @@ mod tests {
                 assert!(v < bucket_lo(idx + 1), "v {v} exceeds bucket {idx}");
             }
         }
+    }
+
+    #[test]
+    fn hist_boundary_values_roundtrip_exactly() {
+        // The exact/log-linear seam (15 -> 16) and both extremes.
+        let edges = [0u64, 15, 16, u64::MAX];
+        for &v in &edges {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_index(bucket_lo(idx)), idx, "round-trip for {v}");
+            assert!(bucket_lo(idx) <= v);
+        }
+        // Below 16 every bucket is exact: the lower bound IS the value.
+        assert_eq!(bucket_lo(bucket_index(0)), 0);
+        assert_eq!(bucket_lo(bucket_index(15)), 15);
+        assert_eq!(bucket_lo(bucket_index(16)), 16);
+        // u64::MAX falls in the very last bucket.
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+
+        let mut h = Hist::default();
+        for &v in &edges {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        // Sum saturates instead of wrapping.
+        assert_eq!(h.sum, u64::MAX);
+        // Quantiles are monotone in pct across the edge samples.
+        let mut prev = 0;
+        for pct in 0..=100u64 {
+            let q = h.quantile(pct);
+            assert!(q >= prev, "quantile({pct}) = {q} < {prev}");
+            prev = q;
+        }
+        assert_eq!(h.quantile(0), 0);
+        assert_eq!(h.quantile(100), bucket_lo(HIST_BUCKETS - 1));
+    }
+
+    #[test]
+    fn hist_boundary_merge_matches_observe_all() {
+        let edges = [0u64, 15, 16, u64::MAX];
+        let mut all = Hist::default();
+        for &v in &edges {
+            all.observe(v);
+        }
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        a.observe(0);
+        a.observe(16);
+        b.observe(15);
+        b.observe(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a, all);
+        for pct in [0u64, 25, 50, 75, 90, 99, 100] {
+            assert_eq!(a.quantile(pct), all.quantile(pct), "pct {pct}");
+        }
+        // And the merged histogram survives a JSON round-trip.
+        let mut r = Registry::new();
+        r.hists.insert("edges".to_string(), a);
+        let back = Registry::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back, r);
     }
 
     #[test]
@@ -751,6 +992,34 @@ mod tests {
         // Sanity on the wire shape.
         assert!(json.contains("\"schema\": \"tlt-metrics/v1\""), "{json}");
         assert!(json.contains("\"rto_cause_color\": 2"), "{json}");
+        // No meta was stamped, so the section is omitted entirely.
+        assert!(!json.contains("\"meta\""), "{json}");
+    }
+
+    #[test]
+    fn meta_roundtrips_and_merges_first_wins() {
+        let mut r = Registry::new();
+        r.set_meta("scale", "quick");
+        r.set_meta("jobs", "any");
+        r.inc("c", 1);
+        let json = r.to_json();
+        assert!(json.contains("\"meta\""), "{json}");
+        assert!(json.contains("\"scale\": \"quick\""), "{json}");
+        let back = Registry::from_json(&json).expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), json);
+        assert_eq!(back.meta_get("jobs"), Some("any"));
+        // Merge keeps the receiving side's provenance.
+        let mut other = Registry::new();
+        other.set_meta("scale", "full");
+        other.set_meta("cores", "8");
+        let mut merged = r.clone();
+        merged.merge(&other);
+        assert_eq!(merged.meta_get("scale"), Some("quick"));
+        assert_eq!(merged.meta_get("cores"), Some("8"));
+        // Meta shows up in CSV and render too.
+        assert!(merged.to_csv().contains("meta,scale,value,quick"));
+        assert!(merged.render().contains("meta"));
     }
 
     #[test]
@@ -766,6 +1035,44 @@ mod tests {
         ] {
             assert!(Registry::from_json(bad).is_none(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_diagnoses_truncated_and_corrupt_input_without_panicking() {
+        let mut r = Registry::new();
+        r.set_meta("scale", "quick");
+        r.inc("data_pkts", 41);
+        r.observe("lat", 100);
+        let json = r.to_json();
+        // Truncation at every prefix length must fail cleanly, never panic.
+        for cut in 0..json.len() - 1 {
+            if !json.is_char_boundary(cut) {
+                continue;
+            }
+            let err = Registry::parse(&json[..cut]);
+            assert!(err.is_err(), "accepted truncation at {cut}");
+        }
+        // Diagnostics carry a position and a reason.
+        let err = Registry::parse(&json[..json.len() / 2]).unwrap_err();
+        assert!(err.contains("byte"), "no position in {err:?}");
+        let err = Registry::parse("{\"schema\": \"other/v9\"}").unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        let err = Registry::parse("{\"schema\": \"tlt-metrics/v1\", \"bogus\": {}}").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+        // Bucket-count overflow is an error, not a debug-mode panic.
+        let overflow = format!(
+            "{{\"schema\": \"tlt-metrics/v1\", \"hists\": {{\"h\": {{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[[0,{m}],[1,{m}]]}}}}}}",
+            m = u64::MAX
+        );
+        let err = Registry::parse(&overflow).unwrap_err();
+        assert!(err.contains("hist"), "{err}");
+        // Trailing garbage after the document is rejected.
+        let trailing = format!("{json}garbage");
+        assert!(Registry::parse(&trailing).is_err());
+        // metrics_summary forwards the diagnostic.
+        let err = metrics_summary("not json").unwrap_err();
+        assert!(err.contains("invalid tlt-metrics JSON"), "{err}");
+        assert!(metrics_summary(&json).unwrap().contains("data_pkts"));
     }
 
     #[test]
