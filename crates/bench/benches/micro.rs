@@ -23,7 +23,7 @@ mod micro {
 
     use dcsim::{small_single_switch, Engine, FlowSpec, SimConfig};
     use eventsim::{EventQueue, SimTime};
-    use netsim::packet::{FlowId, Packet};
+    use netsim::packet::{FlowId, Packet, PacketSlab};
     use netsim::switch::{Switch, SwitchConfig};
     use netsim::topology::PortId;
     use transport::buffer::{RecvBuffer, Scoreboard};
@@ -67,12 +67,23 @@ mod micro {
             let mut cfg = SwitchConfig::trident2(12);
             cfg.color_threshold = Some(400_000);
             let mut sw = Switch::new(cfg, 1);
+            let mut slab = PacketSlab::new();
             for i in 0..4_000u64 {
                 let mut p = Packet::data(FlowId(0), i * 1000, 1000);
                 p.colorize(true);
-                sw.enqueue(p, PortId(0), PortId((i % 12) as u32), SimTime::ZERO);
+                let p = slab.insert(p);
+                sw.enqueue(
+                    p,
+                    &mut slab,
+                    PortId(0),
+                    PortId((i % 12) as u32),
+                    SimTime::ZERO,
+                );
                 if i % 2 == 0 {
-                    sw.dequeue(PortId((i % 12) as u32), SimTime::ZERO);
+                    let (r, _) = sw.dequeue(&mut slab, PortId((i % 12) as u32), SimTime::ZERO);
+                    if let Some(r) = r {
+                        slab.take(r);
+                    }
                 }
             }
             sw.total_bytes()

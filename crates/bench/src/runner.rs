@@ -8,6 +8,7 @@
 
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use dcsim::{Engine, FlowSpec, SimConfig, SimResult};
@@ -214,6 +215,12 @@ struct TraceState {
 }
 
 static TRACE: Mutex<Option<TraceState>> = Mutex::new(None);
+/// Fast-path gate for [`TRACE`]: workers consult this relaxed load instead
+/// of taking the mutex when tracing was never installed. Set (once, before
+/// any workers exist) by [`init_trace`] and never cleared, so a relaxed
+/// ordering suffices — the mutex acquisition inside the slow path provides
+/// the necessary synchronization for the state itself.
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
 
 /// Opens (truncating) the JSONL flight-recorder file at `path` and routes
 /// every subsequent [`traced_run`] / [`run_scheme`] / [`RunPlan`]
@@ -230,18 +237,22 @@ pub fn init_trace(path: &str, sample_ns: Option<u64>) {
         out: BufWriter::new(file),
         sample_every: sample_ns.map(SimTime::from_ns),
     });
+    TRACE_ON.store(true, Ordering::Relaxed);
 }
 
 /// The installed flight recorder's sampling period: `None` when tracing is
 /// off, `Some(sample_every)` when on.
 pub(crate) fn trace_config() -> Option<Option<SimTime>> {
+    if !TRACE_ON.load(Ordering::Relaxed) {
+        return None;
+    }
     TRACE.lock().unwrap().as_ref().map(|s| s.sample_every)
 }
 
 /// Appends one run's (or one plan's) encoded trace bytes to the installed
 /// flight-recorder file. No-op when tracing is off or `bytes` is empty.
 pub(crate) fn append_trace(bytes: &[u8]) {
-    if bytes.is_empty() {
+    if bytes.is_empty() || !TRACE_ON.load(Ordering::Relaxed) {
         return;
     }
     if let Some(state) = TRACE.lock().unwrap().as_mut() {
@@ -259,6 +270,8 @@ struct MetricsOut {
 }
 
 static METRICS: Mutex<Option<MetricsOut>> = Mutex::new(None);
+/// Fast-path gate for [`METRICS`]; see [`TRACE_ON`] for the protocol.
+static METRICS_ON: AtomicBool = AtomicBool::new(false);
 
 /// Routes every subsequent simulation's metrics registry into `path`
 /// (written as CSV when the path ends in `.csv`, pretty JSON otherwise).
@@ -274,16 +287,20 @@ pub fn init_metrics(path: &str) {
     };
     write_metrics(&mut state);
     *METRICS.lock().unwrap() = Some(state);
+    METRICS_ON.store(true, Ordering::Relaxed);
 }
 
 /// Whether a metrics export is installed.
 pub(crate) fn metrics_on() -> bool {
-    METRICS.lock().unwrap().is_some()
+    METRICS_ON.load(Ordering::Relaxed)
 }
 
 /// Merges one run's (or one plan's) registry into the installed export and
 /// rewrites the file. No-op when `--metrics` is off.
 pub(crate) fn merge_metrics(reg: &Registry) {
+    if !METRICS_ON.load(Ordering::Relaxed) {
+        return;
+    }
     if let Some(state) = METRICS.lock().unwrap().as_mut() {
         state.reg.merge(reg);
         write_metrics(state);
@@ -310,6 +327,8 @@ struct ProfileOut {
 }
 
 static PROFILE: Mutex<Option<ProfileOut>> = Mutex::new(None);
+/// Fast-path gate for [`PROFILE`]; see [`TRACE_ON`] for the protocol.
+static PROFILE_ON: AtomicBool = AtomicBool::new(false);
 
 /// Routes every subsequent simulation's engine profile into `path` as
 /// `tlt-profile/v1` JSON. Only runs built with the `profile` feature
@@ -322,11 +341,15 @@ pub fn init_profile(path: &str) {
     };
     write_profile(&mut state);
     *PROFILE.lock().unwrap() = Some(state);
+    PROFILE_ON.store(true, Ordering::Relaxed);
 }
 
 /// Merges one run's (or one plan's) engine profile into the installed
 /// export and rewrites the file. No-op when `--profile-out` is off.
 pub(crate) fn merge_profile(prof: &Profile) {
+    if !PROFILE_ON.load(Ordering::Relaxed) {
+        return;
+    }
     if let Some(state) = PROFILE.lock().unwrap().as_mut() {
         state.prof.merge(prof);
         write_profile(state);

@@ -2,7 +2,7 @@
 
 use eventsim::{EventQueue, SimTime};
 use faults::{FaultAction, FaultState};
-use netsim::packet::{Color, Direction, FlowId, Packet};
+use netsim::packet::{Color, Direction, FlowId, Packet, PacketRef, PacketSlab};
 use netsim::switch::{DropReason, PfcConfig, PfcSignal, Switch, SwitchConfig};
 use netsim::topology::{Hop, NodeId, NodeKind, PortId, Topology};
 use netstats::{FlowRecord, Samples};
@@ -164,7 +164,9 @@ enum Event {
     Deliver {
         to: NodeId,
         in_port: PortId,
-        pkt: Packet,
+        /// Handle into [`Engine::pkts`]: keeping the packet out-of-line
+        /// keeps `Event` small, so every queue entry move is cheap.
+        pkt: PacketRef,
     },
     Timer {
         flow: u32,
@@ -304,6 +306,22 @@ struct FlowRuntime {
     rto_armed_at: SimTime,
     /// Recent losses involving this flow's packets, oldest first.
     losses: std::collections::VecDeque<LossEvent>,
+    /// Lazy timer state, per slot. Arming a timer no longer pushes a queue
+    /// entry when an earlier-or-equal entry for the slot is already
+    /// pending: the deadline is parked here and the pending pop re-arms it
+    /// (at a pre-reserved tie-break seq, so pop order is exactly what an
+    /// eager push would have produced). Superseded deadlines that are
+    /// themselves re-superseded before their queue entry fires simply
+    /// never materialize — that was the 4M-stale-pop churn.
+    ///
+    /// `timer_queued_at[s]` is the timestamp of the slot's in-queue entry
+    /// (`None` when nothing is queued); `timer_queued_gen[s]` identifies
+    /// that entry; `timer_deadline[s]`/`timer_res_seq[s]` describe the
+    /// latest armed deadline and its reserved sequence number.
+    timer_deadline: [SimTime; TIMER_KINDS.len()],
+    timer_queued_at: [Option<SimTime>; TIMER_KINDS.len()],
+    timer_queued_gen: [u64; TIMER_KINDS.len()],
+    timer_res_seq: [u64; TIMER_KINDS.len()],
 }
 
 /// The simulation engine. See the crate docs for an end-to-end example.
@@ -312,9 +330,11 @@ pub struct Engine {
     topo: Topology,
     switches: Vec<Option<Switch>>,
     ports: Vec<Vec<PortState>>,
-    host_q: Vec<std::collections::VecDeque<Packet>>,
+    host_q: Vec<std::collections::VecDeque<PacketRef>>,
     flows: Vec<FlowRuntime>,
     queue: EventQueue<Event>,
+    /// Arena for in-flight packets (see [`Event::Deliver`]).
+    pkts: PacketSlab,
     now: SimTime,
     actions: Vec<Action>,
     base_rtt: SimTime,
@@ -401,7 +421,11 @@ impl Engine {
             .unwrap_or(SimTime::from_ns(2 * max_hops * link.delay.as_ns()));
         let bdp = link.bdp_bytes(base_rtt).max(u64::from(cfg.mss) * 4);
 
-        let mut queue = EventQueue::with_capacity(specs.len() * 4 + 16);
+        // Pre-size for the measured steady state (PR 6 profiling saw peak
+        // queue depths around 125k on the family-mix workloads) instead of
+        // regrowing mid-run; small runs stay small via the per-flow term.
+        let queue_cap = (specs.len().saturating_mul(32) + 256).min(1 << 17);
+        let mut queue = EventQueue::with_capacity(queue_cap);
         // Constructor-time scheduling happens before the engine (and its
         // `sched` shim) exists, so the profiler is created here and bumped
         // at each local schedule site.
@@ -433,6 +457,10 @@ impl Engine {
                 tx_epoch: 0,
                 rto_armed_at: SimTime::ZERO,
                 losses: std::collections::VecDeque::new(),
+                timer_deadline: [SimTime::ZERO; TIMER_KINDS.len()],
+                timer_queued_at: [None; TIMER_KINDS.len()],
+                timer_queued_gen: [0; TIMER_KINDS.len()],
+                timer_res_seq: [0; TIMER_KINDS.len()],
             });
         }
         if let Some(every) = cfg.queue_sample_every {
@@ -482,6 +510,7 @@ impl Engine {
             host_q,
             flows,
             queue,
+            pkts: PacketSlab::with_capacity(1024),
             now: SimTime::ZERO,
             actions: Vec::new(),
             base_rtt,
@@ -629,9 +658,11 @@ impl Engine {
             self.now = t;
             #[cfg(feature = "profile")]
             let prof_kind = ev.kind();
-            // Fan-out proxy: how many events this handler schedules.
+            // Fan-out proxy: how many events this handler schedules
+            // (counting seq reservations, so deferred timer arms still
+            // register as the handler's work).
             #[cfg(feature = "profile")]
-            let prof_sched_before = self.queue.scheduled_total();
+            let prof_sched_before = self.queue.seq_total();
             #[cfg(feature = "profile")]
             if self.prof.window_due(t) {
                 let qbytes = self.total_queue_bytes();
@@ -651,7 +682,7 @@ impl Engine {
                     check_done!(f);
                 }
                 Event::Deliver { to, in_port, pkt } => {
-                    let f = pkt.flow.0;
+                    let f = self.pkts.get(pkt).flow.0;
                     let endpoint = self.deliver(to, in_port, pkt);
                     if endpoint {
                         check_done!(f);
@@ -663,11 +694,38 @@ impl Engine {
                 }
                 Event::Timer { flow, kind, gen } => {
                     let slot = timer_slot(kind);
-                    let live = self.flows[flow as usize].timer_gen[slot] == gen;
+                    let rt = &mut self.flows[flow as usize];
+                    // This pop consumes the slot's in-queue entry (if it is
+                    // still ours: a later arm may have queued a new one).
+                    if rt.timer_queued_at[slot].is_some() && rt.timer_queued_gen[slot] == gen {
+                        rt.timer_queued_at[slot] = None;
+                    }
+                    let live = rt.timer_gen[slot] == gen;
                     #[cfg(feature = "profile")]
                     if !live {
                         // Generation mismatch: this pop is a cancellation.
                         self.prof.note_stale_timer();
+                    }
+                    if !live {
+                        // A superseding arm may have parked a deadline on
+                        // this slot waiting for our entry to clear —
+                        // materialize it now, at its reserved seq, exactly
+                        // where an eager push would have popped.
+                        let rt = &mut self.flows[flow as usize];
+                        if rt.timer_armed[slot] && rt.timer_queued_at[slot].is_none() {
+                            let at = rt.timer_deadline[slot];
+                            let g = rt.timer_gen[slot];
+                            let seq = rt.timer_res_seq[slot];
+                            rt.timer_queued_at[slot] = Some(at);
+                            rt.timer_queued_gen[slot] = g;
+                            #[cfg(feature = "profile")]
+                            self.prof.on_sched(crate::profile::EvKind::Timer);
+                            self.queue.schedule_with_seq(
+                                at,
+                                seq,
+                                Event::Timer { flow, kind, gen: g },
+                            );
+                        }
                     }
                     if live {
                         self.flows[flow as usize].timer_armed[slot] = false;
@@ -791,7 +849,7 @@ impl Engine {
             }
             #[cfg(feature = "profile")]
             {
-                let fanout = self.queue.scheduled_total() - prof_sched_before;
+                let fanout = self.queue.seq_total() - prof_sched_before;
                 self.prof
                     .on_pop(prof_kind, t, fanout, self.queue.len() as u64);
             }
@@ -827,7 +885,11 @@ impl Engine {
 
         let mut agg = AggregateStats {
             duration: end,
-            events_scheduled: self.queue.scheduled_total(),
+            // Logical events: one per schedule call *or* timer-arm seq
+            // reservation — identical whether a superseded timer's queue
+            // entry materialized or not, so figures and metrics match the
+            // eager-push engine byte for byte.
+            events_scheduled: self.queue.seq_total(),
             wire_drops: self.faults.wire_drops,
             down_drops: self.faults.down_drops,
             faults_injected: self.faults_injected,
@@ -955,39 +1017,47 @@ impl Engine {
     /// Delivers a packet arriving at `to` on `in_port`. Returns `true` when
     /// the packet reached a flow endpoint (so the caller re-checks flow
     /// doneness).
-    fn deliver(&mut self, to: NodeId, in_port: PortId, pkt: Packet) -> bool {
+    fn deliver(&mut self, to: NodeId, in_port: PortId, pref: PacketRef) -> bool {
         // A frame that was in flight when its link went down is destroyed
         // at the receiving end of the wire.
         let in_link = self.topo.incoming_link(to, in_port);
-        #[cfg(feature = "strict-invariants")]
-        self.ledger.on_arrival(in_link.0 as usize, pkt.wire_size());
+        let (f, dir, hop) = {
+            let p = self.pkts.get(pref);
+            #[cfg(feature = "strict-invariants")]
+            self.ledger.on_arrival(in_link.0 as usize, p.wire_size());
+            (p.flow.0, p.dir, p.hop)
+        };
         if self.faults.is_down(in_link) {
+            let pkt = self.pkts.take(pref);
             self.destroy_frame(to, in_port, &pkt);
             return false;
         }
-        let f = pkt.flow.0;
         let rt = &mut self.flows[f as usize];
-        let path = match pkt.dir {
+        let path = match dir {
             Direction::Fwd => &rt.path_fwd,
             Direction::Rev => &rt.path_rev,
         };
-        let h = pkt.hop as usize;
+        let h = hop as usize;
         if h >= path.len() {
             // A reroute may have swapped the path under a frame in flight;
             // only frames arriving at the real endpoint are delivered.
-            let endpoint = match pkt.dir {
+            let endpoint = match dir {
                 Direction::Fwd => rt.dst,
                 Direction::Rev => rt.src,
             };
             if to != endpoint {
+                let pkt = self.pkts.take(pref);
                 self.destroy_frame(to, in_port, &pkt);
                 return false;
             }
-            // Endpoint: hand to the transport.
+            // Endpoint: the frame leaves the wire, so redeem its handle and
+            // hand the packet to the transport.
             #[cfg(feature = "profile")]
             {
                 self.prof.deliver_endpoint += 1;
             }
+            let pkt = self.pkts.take(pref);
+            let rt = &mut self.flows[f as usize];
             let mut ctx = Ctx {
                 now: self.now,
                 actions: &mut self.actions,
@@ -1014,6 +1084,7 @@ impl Engine {
         // into the *new* path, which may visit different nodes: frames
         // stranded on the old path are destroyed, not misrouted.
         if path[h].node != to {
+            let pkt = self.pkts.take(pref);
             self.destroy_frame(to, in_port, &pkt);
             return false;
         }
@@ -1022,15 +1093,17 @@ impl Engine {
             self.prof.deliver_transit += 1;
         }
         let egress = path[h].port;
-        let mut pkt = pkt;
-        pkt.hop += 1;
         // Provenance, captured before the switch takes ownership: a drop
         // outcome must be attributable to this flow's loss ring.
-        let (p_dir, p_ctrl, p_epoch) = (pkt.dir, pkt.is_control(), pkt.epoch);
+        let (p_dir, p_ctrl, p_epoch) = {
+            let p = self.pkts.get_mut(pref);
+            p.hop += 1;
+            (p.dir, p.is_control(), p.epoch)
+        };
         let sw = self.switches[to.0 as usize]
             .as_mut()
             .expect("transit node must be a switch");
-        let outcome = sw.enqueue(pkt, in_port, egress, self.now);
+        let outcome = sw.enqueue(pref, &mut self.pkts, in_port, egress, self.now);
         let qlen = sw.queue_bytes(egress);
         let dropped = outcome.drop.map(|r| match r {
             DropReason::ColorThreshold => DropWhy::Color,
@@ -1097,7 +1170,7 @@ impl Engine {
             return;
         }
         let pkt = if let Some(sw) = self.switches[n].as_mut() {
-            let (pkt, sig) = sw.dequeue(port, self.now);
+            let (pkt, sig) = sw.dequeue(&mut self.pkts, port, self.now);
             if let Some(sig) = sig {
                 self.send_pfc(node, sig);
             }
@@ -1108,7 +1181,7 @@ impl Engine {
         let Some(pkt) = pkt else { return };
         let (lid, rec) = self.topo.link_from(node, port);
         let (spec, to) = (rec.spec, rec.to);
-        let wire = pkt.wire_size();
+        let wire = self.pkts.get(pkt).wire_size();
         let tx = self.faults.tx_time(lid, &spec, wire);
         #[cfg(feature = "strict-invariants")]
         self.ledger.on_tx(lid.0 as usize, wire);
@@ -1117,6 +1190,7 @@ impl Engine {
         // Link failure: the port still spends the serialization time, but
         // the frame goes onto a dead wire and is destroyed.
         if self.faults.is_down(lid) {
+            let pkt = self.pkts.take(pkt);
             self.faults.down_drops += 1;
             #[cfg(feature = "strict-invariants")]
             self.ledger
@@ -1146,6 +1220,7 @@ impl Engine {
         // Non-congestion (corruption) loss: same deal, the frame never
         // arrives. Only links with an active loss model consult the RNG.
         if self.faults.corrupts(lid) {
+            let pkt = self.pkts.take(pkt);
             #[cfg(feature = "strict-invariants")]
             self.ledger
                 .on_tx_dropped(lid.0 as usize, wire, DropWhy::Wire);
@@ -1451,6 +1526,9 @@ impl Engine {
                     };
                     pkt.hop = 1;
                     pkt.epoch = rt.tx_epoch;
+                    // The frame enters the arena here and stays there for
+                    // its whole wire lifetime; only handles move from now on.
+                    let pkt = self.pkts.insert(pkt);
                     self.host_q[origin.0 as usize].push_back(pkt);
                     self.kick_port(origin, PortId(0));
                 }
@@ -1464,12 +1542,29 @@ impl Engine {
                     }
                     let gen = rt.timer_gen[s];
                     let at = at.max(self.now);
+                    rt.timer_deadline[s] = at;
                     self.tracer.emit(self.now, || TraceEvent::TimerArm {
                         flow: f,
                         kind: timer_id(kind),
                         at,
                     });
-                    self.sched(at, Event::Timer { flow: f, kind, gen });
+                    // Reserve the tie-break seq unconditionally so pop
+                    // order is independent of whether the push is deferred.
+                    let seq = self.queue.reserve_seq();
+                    let rt = &mut self.flows[f as usize];
+                    rt.timer_res_seq[s] = seq;
+                    // Push only when this deadline beats the slot's pending
+                    // queue entry; otherwise park it — the pending pop will
+                    // re-arm us (or a later SetTimer supersedes us first,
+                    // and this deadline never touches the queue at all).
+                    if rt.timer_queued_at[s].is_none_or(|q| at < q) {
+                        rt.timer_queued_at[s] = Some(at);
+                        rt.timer_queued_gen[s] = gen;
+                        #[cfg(feature = "profile")]
+                        self.prof.on_sched(crate::profile::EvKind::Timer);
+                        self.queue
+                            .schedule_with_seq(at, seq, Event::Timer { flow: f, kind, gen });
+                    }
                 }
                 Action::CancelTimer { kind } => {
                     let rt = &mut self.flows[f as usize];
@@ -1609,7 +1704,14 @@ mod tests {
         let p = res.profile.as_ref().expect("profile feature is on");
         let r = &p.reg;
         let sched = r.counter("events_scheduled_total");
-        assert_eq!(sched, res.agg.events_scheduled, "profiler missed a site");
+        // `agg.events_scheduled` counts logical events (every timer-arm
+        // reserves a seq, pushed or deferred); the profiler counts actual
+        // queue pushes, so it reads lower whenever deferral saved churn.
+        assert!(
+            sched <= res.agg.events_scheduled,
+            "profiler overcounted: {sched} > {}",
+            res.agg.events_scheduled
+        );
         assert_eq!(
             r.counter("events_executed_total") + r.counter("events_cancelled_total"),
             sched

@@ -24,6 +24,8 @@ pub mod switch;
 pub mod topology;
 
 pub use link::LinkSpec;
-pub use packet::{Color, Direction, FlowId, IntHop, Packet, PacketKind, SackBlock, TltMark};
+pub use packet::{
+    Color, Direction, FlowId, IntHop, Packet, PacketKind, PacketRef, PacketSlab, SackBlock, TltMark,
+};
 pub use switch::{DropReason, EcnConfig, EnqueueOutcome, PfcConfig, Switch, SwitchConfig};
 pub use topology::{Hop, LinkId, NodeId, NodeKind, PortId, Topology, TopologySpec};

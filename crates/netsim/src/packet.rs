@@ -250,9 +250,122 @@ impl Packet {
     }
 }
 
+/// Handle into a [`PacketSlab`]: a 4-byte stand-in for an in-flight
+/// [`Packet`], small enough that event-queue entries stay thin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRef(u32);
+
+/// Arena for in-flight packets.
+///
+/// `Event::Deliver` used to carry a full `Packet` inline, making it the
+/// fattest event variant and bloating every queue entry (and every queue
+/// move) to `size_of::<Packet>`. The slab keeps the payload out-of-line:
+/// the wire schedules a [`PacketRef`], and the engine takes the packet back
+/// out when the event fires. Slots are recycled through a free list, so
+/// steady-state simulation does no allocation per delivery.
+#[derive(Debug, Default)]
+pub struct PacketSlab {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+}
+
+impl PacketSlab {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        PacketSlab::default()
+    }
+
+    /// Creates an empty slab with room for `cap` in-flight packets.
+    pub fn with_capacity(cap: usize) -> Self {
+        PacketSlab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `pkt`, returning a handle that must be redeemed exactly once
+    /// with [`PacketSlab::take`].
+    pub fn insert(&mut self, pkt: Packet) -> PacketRef {
+        if let Some(i) = self.free.pop() {
+            debug_assert!(self.slots[i as usize].is_none());
+            self.slots[i as usize] = Some(pkt);
+            PacketRef(i)
+        } else {
+            let i = u32::try_from(self.slots.len()).expect("more than 2^32 packets in flight");
+            self.slots.push(Some(pkt));
+            PacketRef(i)
+        }
+    }
+
+    /// Borrows the packet behind `r` without redeeming the handle.
+    ///
+    /// Panics if the handle was already redeemed.
+    pub fn get(&self, r: PacketRef) -> &Packet {
+        self.slots[r.0 as usize]
+            .as_ref()
+            .expect("packet handle is vacant")
+    }
+
+    /// Mutably borrows the packet behind `r` without redeeming the handle.
+    ///
+    /// Panics if the handle was already redeemed.
+    pub fn get_mut(&mut self, r: PacketRef) -> &mut Packet {
+        self.slots[r.0 as usize]
+            .as_mut()
+            .expect("packet handle is vacant")
+    }
+
+    /// Removes and returns the packet behind `r`, recycling its slot.
+    ///
+    /// Panics if the handle was already redeemed — a double-take means the
+    /// engine delivered the same event twice.
+    pub fn take(&mut self, r: PacketRef) -> Packet {
+        let pkt = self.slots[r.0 as usize]
+            .take()
+            .expect("packet handle redeemed twice");
+        self.free.push(r.0);
+        pkt
+    }
+
+    /// Number of packets currently in flight.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether no packets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slab_roundtrips_and_recycles_slots() {
+        let mut slab = PacketSlab::new();
+        let a = slab.insert(Packet::data(FlowId(1), 0, 1440));
+        let b = slab.insert(Packet::data(FlowId(2), 1440, 1440));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.take(a).flow, FlowId(1));
+        assert_eq!(slab.len(), 1);
+        // The freed slot is reused before the slab grows.
+        let c = slab.insert(Packet::ack(FlowId(3), 0));
+        assert_eq!(c, a);
+        assert_eq!(slab.take(b).flow, FlowId(2));
+        assert_eq!(slab.take(c).flow, FlowId(3));
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "redeemed twice")]
+    fn slab_take_panics_on_double_redeem() {
+        let mut slab = PacketSlab::new();
+        let r = slab.insert(Packet::ack(FlowId(0), 0));
+        let _ = slab.take(r);
+        let _ = slab.take(r);
+    }
 
     #[test]
     fn constructors_set_kinds_and_directions() {

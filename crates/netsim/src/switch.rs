@@ -22,7 +22,7 @@
 use eventsim::{SimRng, SimTime};
 use telemetry::{DropWhy, TraceEvent, Tracer};
 
-use crate::packet::{Color, IntHop, Packet};
+use crate::packet::{Color, IntHop, PacketRef, PacketSlab};
 use crate::topology::PortId;
 
 /// ECN marking discipline of an egress queue.
@@ -175,7 +175,7 @@ pub struct SwitchStats {
 }
 
 struct Queued {
-    pkt: Packet,
+    pkt: PacketRef,
     ingress: PortId,
     wire: u32,
 }
@@ -200,19 +200,25 @@ struct MmuLedger {
 
 /// A shared-buffer output-queued switch.
 ///
+/// Buffered packets live in the caller's [`PacketSlab`]; the switch queues
+/// only hold 4-byte [`PacketRef`] handles, so a frame is never copied while
+/// it sits in (or crosses) the MMU.
+///
 /// # Examples
 ///
 /// ```
-/// use netsim::{Packet, FlowId, Switch, SwitchConfig, PortId};
+/// use netsim::{Packet, PacketSlab, FlowId, Switch, SwitchConfig, PortId};
 /// use netsim::switch::EcnConfig;
 /// use eventsim::SimTime;
 ///
 /// let mut cfg = SwitchConfig::trident2(4);
 /// cfg.color_threshold = Some(400_000);
 /// let mut sw = Switch::new(cfg, 1);
+/// let mut slab = PacketSlab::new();
 /// let mut pkt = Packet::data(FlowId(0), 0, 1440);
 /// pkt.colorize(true); // red: unimportant
-/// let out = sw.enqueue(pkt, PortId(0), PortId(1), SimTime::ZERO);
+/// let pkt = slab.insert(pkt);
+/// let out = sw.enqueue(pkt, &mut slab, PortId(0), PortId(1), SimTime::ZERO);
 /// assert!(out.enqueued);
 /// ```
 pub struct Switch {
@@ -361,35 +367,50 @@ impl Switch {
         (self.cfg.alpha * free as f64) as u64
     }
 
-    /// Offers `pkt`, which arrived on `ingress`, to egress queue `egress`.
+    /// Offers `pkt` (a handle into `slab`), which arrived on `ingress`, to
+    /// egress queue `egress`.
     ///
     /// Applies, in order: color-aware dropping, dynamic-threshold admission
     /// (lossy mode) or overflow protection (PFC mode), ECN marking, PFC
-    /// ingress accounting.
+    /// ingress accounting. On admission the switch keeps the handle until
+    /// [`Switch::dequeue`]; on rejection the slab slot is released before
+    /// returning (the frame is gone).
     ///
     /// # Panics
     ///
     /// Panics if `egress` or `ingress` is out of range.
     pub fn enqueue(
         &mut self,
-        mut pkt: Packet,
+        pkt: PacketRef,
+        slab: &mut PacketSlab,
         ingress: PortId,
         egress: PortId,
         now: SimTime,
     ) -> EnqueueOutcome {
         let e = egress.0 as usize;
         let i = ingress.0 as usize;
-        let wire32 = pkt.wire_size();
+        let (wire32, is_green_data, is_control, color, ecn_capable, flow, seq) = {
+            let p = slab.get(pkt);
+            (
+                p.wire_size(),
+                p.color == Color::Green && !p.is_control(),
+                p.is_control(),
+                p.color,
+                p.ecn_capable,
+                p.flow.0,
+                p.seq,
+            )
+        };
         let wire = u64::from(wire32);
         let q = self.q_bytes[e];
-        let is_green_data = pkt.color == Color::Green && !pkt.is_control();
-        let (flow, seq) = (pkt.flow.0, pkt.seq);
         #[cfg(feature = "strict-invariants")]
         {
             self.ledger.offered_bytes += wire;
         }
 
-        let reject = |this: &mut Self, reason: DropReason| {
+        let reject = |this: &mut Self, slab: &mut PacketSlab, reason: DropReason| {
+            // A rejected frame dies here: release its arena slot.
+            drop(slab.take(pkt));
             #[cfg(feature = "strict-invariants")]
             {
                 this.ledger.dropped_bytes += wire;
@@ -426,28 +447,28 @@ impl Switch {
         // 1. Color-aware dropping: red packets may not push the egress queue
         //    beyond K; green packets bypass K entirely (§4.1).
         if let Some(k) = self.cfg.color_threshold {
-            if pkt.color == Color::Red && q + wire > k {
-                return reject(self, DropReason::ColorThreshold);
+            if color == Color::Red && q + wire > k {
+                return reject(self, slab, DropReason::ColorThreshold);
             }
         }
 
         // 2. Buffer admission.
         if self.total_bytes + wire > self.cfg.total_buffer {
             // The pool itself is exhausted; nothing can be admitted.
-            return reject(self, DropReason::BufferOverflow);
+            return reject(self, slab, DropReason::BufferOverflow);
         }
         if self.cfg.pfc.is_none() {
             // Lossy mode: dynamic-threshold admission. An arriving packet is
             // dropped if Q_i >= alpha * (B - occupancy) \[26\].
             let free = self.cfg.total_buffer - self.total_bytes;
             if q as f64 >= self.cfg.alpha * free as f64 {
-                return reject(self, DropReason::DynamicThreshold);
+                return reject(self, slab, DropReason::DynamicThreshold);
             }
         }
 
         // 3. ECN marking on admission.
         let mut ce_marked = false;
-        if pkt.ecn_capable && !pkt.is_control() {
+        if ecn_capable && !is_control {
             let marked = match self.cfg.ecn {
                 EcnConfig::Off => false,
                 EcnConfig::Threshold { k } => q + wire > k,
@@ -463,7 +484,7 @@ impl Switch {
                 }
             };
             if marked {
-                pkt.ce = true;
+                slab.get_mut(pkt).ce = true;
                 ce_marked = true;
                 self.stats.ce_marked += 1;
             }
@@ -532,9 +553,16 @@ impl Switch {
 
     /// Removes the head-of-line packet of egress queue `egress`.
     ///
-    /// Returns the packet (with an INT hop appended when enabled) and an
-    /// optional PFC RESUME signal triggered by the freed ingress budget.
-    pub fn dequeue(&mut self, egress: PortId, now: SimTime) -> (Option<Packet>, Option<PfcSignal>) {
+    /// Returns the packet's arena handle (with an INT hop appended in the
+    /// slab when enabled) and an optional PFC RESUME signal triggered by the
+    /// freed ingress budget. Ownership of the handle passes back to the
+    /// caller; the switch no longer tracks it.
+    pub fn dequeue(
+        &mut self,
+        slab: &mut PacketSlab,
+        egress: PortId,
+        now: SimTime,
+    ) -> (Option<PacketRef>, Option<PfcSignal>) {
         let e = egress.0 as usize;
         let Some(q) = self.queues[e].pop_front() else {
             return (None, None);
@@ -550,21 +578,25 @@ impl Switch {
         self.ingress_bytes[i] -= wire;
         self.tx_bytes[e] += wire;
 
-        let mut pkt = q.pkt;
-        if self.cfg.int_enabled && !pkt.is_control() {
-            pkt.int_stack.push(IntHop {
-                q_len: self.q_bytes[e],
-                tx_bytes: self.tx_bytes[e],
-                ts: now,
-                rate_bps: self.cfg.port_rate_bps,
-            });
-        }
+        let pkt = q.pkt;
+        let (flow, seq) = {
+            let p = slab.get_mut(pkt);
+            if self.cfg.int_enabled && !p.is_control() {
+                p.int_stack.push(IntHop {
+                    q_len: self.q_bytes[e],
+                    tx_bytes: self.tx_bytes[e],
+                    ts: now,
+                    rate_bps: self.cfg.port_rate_bps,
+                });
+            }
+            (p.flow.0, p.seq)
+        };
 
         self.tracer.emit(now, || TraceEvent::Dequeue {
             node: self.node,
             port: egress.0,
-            flow: pkt.flow.0,
-            seq: pkt.seq,
+            flow,
+            seq,
             qlen: self.q_bytes[e],
         });
 
@@ -639,7 +671,7 @@ impl Switch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, TltMark};
+    use crate::packet::{FlowId, Packet, TltMark};
 
     fn red(len: u32) -> Packet {
         let mut p = Packet::data(FlowId(0), 0, len);
@@ -668,9 +700,56 @@ mod tests {
         }
     }
 
+    /// Test harness pairing a [`Switch`] with its packet arena, restoring
+    /// the by-value `enqueue`/`dequeue` shape the unit tests are written
+    /// against. Inherent methods shadow the ref-based ones; everything else
+    /// (stats, depths, storm control) derefs straight to the switch.
+    struct Sw {
+        sw: Switch,
+        slab: PacketSlab,
+    }
+
+    impl Sw {
+        fn new(cfg: SwitchConfig, seed: u64) -> Sw {
+            Sw {
+                sw: Switch::new(cfg, seed),
+                slab: PacketSlab::new(),
+            }
+        }
+
+        fn enqueue(
+            &mut self,
+            pkt: Packet,
+            ingress: PortId,
+            egress: PortId,
+            now: SimTime,
+        ) -> EnqueueOutcome {
+            let r = self.slab.insert(pkt);
+            self.sw.enqueue(r, &mut self.slab, ingress, egress, now)
+        }
+
+        fn dequeue(&mut self, egress: PortId, now: SimTime) -> (Option<Packet>, Option<PfcSignal>) {
+            let (r, sig) = self.sw.dequeue(&mut self.slab, egress, now);
+            (r.map(|r| self.slab.take(r)), sig)
+        }
+    }
+
+    impl std::ops::Deref for Sw {
+        type Target = Switch;
+        fn deref(&self) -> &Switch {
+            &self.sw
+        }
+    }
+
+    impl std::ops::DerefMut for Sw {
+        fn deref_mut(&mut self) -> &mut Switch {
+            &mut self.sw
+        }
+    }
+
     #[test]
     fn fifo_order_is_preserved() {
-        let mut sw = Switch::new(small_cfg(), 0);
+        let mut sw = Sw::new(small_cfg(), 0);
         for seq in 0..5u64 {
             let mut p = Packet::data(FlowId(1), seq * 1000, 1000);
             p.colorize(false);
@@ -687,7 +766,7 @@ mod tests {
     fn color_threshold_drops_red_but_not_green() {
         let mut cfg = small_cfg();
         cfg.color_threshold = Some(3_000);
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         // Fill up to K with red packets (1000 + 48 header = 1048 wire bytes).
         let mut admitted = 0;
         loop {
@@ -712,7 +791,7 @@ mod tests {
     fn dynamic_threshold_limits_queue_to_half_buffer_at_alpha_1() {
         // alpha = 1, single congested queue: Q grows until Q >= B - Q,
         // i.e. half the buffer (§4.2 / \[26\]).
-        let mut sw = Switch::new(small_cfg(), 0);
+        let mut sw = Sw::new(small_cfg(), 0);
         let mut dropped = false;
         for _ in 0..200 {
             let out = sw.enqueue(red(952), PortId(0), PortId(1), SimTime::ZERO);
@@ -733,7 +812,7 @@ mod tests {
     #[test]
     fn dynamic_threshold_shares_between_two_queues() {
         // Two congested queues at alpha = 1 each get ~B/3.
-        let mut sw = Switch::new(small_cfg(), 0);
+        let mut sw = Sw::new(small_cfg(), 0);
         let mut full = [false, false];
         while !(full[0] && full[1]) {
             for port in 0..2u32 {
@@ -757,7 +836,7 @@ mod tests {
     #[test]
     fn green_packets_can_be_dropped_at_dynamic_threshold() {
         // TLT makes important losses rare, not impossible (§4.2).
-        let mut sw = Switch::new(small_cfg(), 0);
+        let mut sw = Sw::new(small_cfg(), 0);
         loop {
             let out = sw.enqueue(green(952), PortId(0), PortId(1), SimTime::ZERO);
             if !out.enqueued {
@@ -772,8 +851,8 @@ mod tests {
     fn ecn_threshold_marks_above_k() {
         let mut cfg = small_cfg();
         cfg.ecn = EcnConfig::Threshold { k: 2_000 };
-        let mut sw = Switch::new(cfg, 0);
-        let mk = |sw: &mut Switch| {
+        let mut sw = Sw::new(cfg, 0);
+        let mk = |sw: &mut Sw| {
             let mut p = Packet::data(FlowId(0), 0, 1000);
             p.ecn_capable = true;
             p.colorize(false);
@@ -789,7 +868,7 @@ mod tests {
     fn ecn_skips_non_capable_and_control() {
         let mut cfg = small_cfg();
         cfg.ecn = EcnConfig::Threshold { k: 0 };
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         let mut p = Packet::data(FlowId(0), 0, 1000);
         p.colorize(false); // not ecn_capable
         assert!(!sw.enqueue(p, PortId(0), PortId(1), SimTime::ZERO).ce_marked);
@@ -807,7 +886,7 @@ mod tests {
             kmax: 40_000,
             pmax: 1.0,
         };
-        let mut sw = Switch::new(cfg, 42);
+        let mut sw = Sw::new(cfg, 42);
         let mut marks_low = 0;
         let mut marks_high = 0;
         for i in 0..200 {
@@ -836,7 +915,7 @@ mod tests {
             xoff: 5_000,
             xon: 3_000,
         });
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         let mut pause_seen = false;
         let mut enq = 0;
         for _ in 0..10 {
@@ -874,7 +953,7 @@ mod tests {
             xoff: 5_000,
             xon: 3_000,
         });
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         let sig = sw.storm_xoff(PortId(0), SimTime::ZERO);
         assert_eq!(sig, Some(PfcSignal::Pause(PortId(0))));
         // Re-asserting the storm never double-sends pause.
@@ -898,7 +977,7 @@ mod tests {
             xoff: 5_000,
             xon: 3_000,
         });
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         for _ in 0..6 {
             sw.enqueue(red(952), PortId(0), PortId(1), SimTime::ZERO);
         }
@@ -931,7 +1010,7 @@ mod tests {
             xoff: 5_000,
             xon: 3_000,
         });
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         for _ in 0..6 {
             sw.enqueue(red(952), PortId(0), PortId(1), SimTime::ZERO);
         }
@@ -952,7 +1031,7 @@ mod tests {
     fn pause_storm_without_pfc_config_still_resumes() {
         // Spurious storms can hit a lossy (non-PFC) network too; with no
         // PFC accounting the storm end must resume unconditionally.
-        let mut sw = Switch::new(small_cfg(), 0);
+        let mut sw = Sw::new(small_cfg(), 0);
         assert_eq!(
             sw.storm_xoff(PortId(1), SimTime::ZERO),
             Some(PfcSignal::Pause(PortId(1)))
@@ -972,7 +1051,7 @@ mod tests {
             xoff: 200_000, // never reached
             xon: 100_000,
         });
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         let mut drops = 0;
         for _ in 0..200 {
             let out = sw.enqueue(red(952), PortId(0), PortId(1), SimTime::ZERO);
@@ -995,7 +1074,7 @@ mod tests {
             xon: 40_000,
         });
         cfg.color_threshold = Some(2_000);
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         assert!(
             sw.enqueue(red(1000), PortId(0), PortId(1), SimTime::ZERO)
                 .enqueued
@@ -1013,7 +1092,7 @@ mod tests {
     fn int_hops_appended_at_dequeue() {
         let mut cfg = small_cfg();
         cfg.int_enabled = true;
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         let mut p = Packet::data(FlowId(0), 0, 1000);
         p.colorize(false);
         sw.enqueue(p, PortId(0), PortId(1), SimTime::ZERO);
@@ -1031,7 +1110,7 @@ mod tests {
     fn int_not_appended_to_control() {
         let mut cfg = small_cfg();
         cfg.int_enabled = true;
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         sw.enqueue(
             Packet::ack(FlowId(0), 5),
             PortId(0),
@@ -1044,7 +1123,7 @@ mod tests {
 
     #[test]
     fn dequeue_empty_returns_none() {
-        let mut sw = Switch::new(small_cfg(), 0);
+        let mut sw = Sw::new(small_cfg(), 0);
         let (p, s) = sw.dequeue(PortId(0), SimTime::ZERO);
         assert!(p.is_none());
         assert!(s.is_none());
@@ -1052,7 +1131,7 @@ mod tests {
 
     #[test]
     fn stats_track_maxima() {
-        let mut sw = Switch::new(small_cfg(), 0);
+        let mut sw = Sw::new(small_cfg(), 0);
         for _ in 0..3 {
             sw.enqueue(red(1000), PortId(0), PortId(1), SimTime::ZERO);
         }
@@ -1080,7 +1159,7 @@ mod tests {
                     xon: 20_000,
                 });
             }
-            let mut sw = Switch::new(cfg, 11);
+            let mut sw = Sw::new(cfg, 11);
             let mut offered = 0u64;
             let mut offered_green_data = 0u64;
             let ops = rng.gen_range_usize(50..400);
@@ -1146,7 +1225,7 @@ mod tests {
             xoff: 20_000,
             xon: 10_000,
         });
-        let mut sw = Switch::new(cfg, 3);
+        let mut sw = Sw::new(cfg, 3);
         let mut rng = eventsim::SimRng::seed_from(0x57121C7);
         for _ in 0..300 {
             let port = rng.gen_range_u64(0..2) as u32;
@@ -1165,7 +1244,7 @@ mod tests {
     #[cfg(feature = "strict-invariants")]
     #[should_panic(expected = "MMU ledger")]
     fn strict_audit_fires_on_corrupted_ledger() {
-        let mut sw = Switch::new(small_cfg(), 0);
+        let mut sw = Sw::new(small_cfg(), 0);
         assert!(
             sw.enqueue(red(1000), PortId(0), PortId(1), SimTime::ZERO)
                 .enqueued
@@ -1188,7 +1267,7 @@ mod tests {
             xoff: 8_000,
             xon: 4_000,
         });
-        let mut sw = Switch::new(cfg, 0);
+        let mut sw = Sw::new(cfg, 0);
         let (tracer, counts) = Tracer::new(CountingSink::default());
         sw.set_tracer(tracer, 7);
         let mut rng = eventsim::SimRng::seed_from(0x7AC3);
@@ -1234,7 +1313,7 @@ mod tests {
         for case in 0..64 {
             let mut cfg = small_cfg();
             cfg.color_threshold = Some(20_000);
-            let mut sw = Switch::new(cfg, 7);
+            let mut sw = Sw::new(cfg, 7);
             let ops = rng.gen_range_usize(1..300);
             for _ in 0..ops {
                 let port = rng.gen_range_u64(0..2) as u32;

@@ -432,7 +432,16 @@ impl<C: CongestionControl> WindowSender<C> {
         self.high_rxt = self.high_rxt.max(new_una);
         if !self.tx_order.is_empty() {
             let floor = new_una / u64::from(self.cfg.mss);
-            self.tx_order.retain(|&idx, _| idx >= floor);
+            // Orders below the ACK floor are never queried again. Dropping
+            // them via `split_off` costs O(log n) on the (common) ACK that
+            // has nothing to trim, where `retain` re-walked the whole map.
+            if self
+                .tx_order
+                .first_key_value()
+                .is_some_and(|(&idx, _)| idx < floor)
+            {
+                self.tx_order = self.tx_order.split_off(&floor);
+            }
         }
     }
 }
