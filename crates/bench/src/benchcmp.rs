@@ -2,7 +2,8 @@
 //!
 //! `benchcmp` reads two JSON files of the *same* schema —
 //! `tlt-bench-baseline/v1` (wall-clock suite reports), `tlt-profile/v1`
-//! (engine profiles), or `tlt-metrics/v1` (metrics registries) — flattens
+//! (engine profiles), `tlt-metrics/v1` (metrics registries), or
+//! `tlt-serve/v1` (per-request SLO reports) — flattens
 //! each into a key → number map, and reports per-key deltas:
 //!
 //! * **lower-is-better** keys (anything containing `wall_ms`) and
@@ -281,7 +282,7 @@ pub fn load(text: &str) -> Result<Doc, String> {
     };
     match schema.as_str() {
         "tlt-bench-baseline/v1" => flatten_bench(&v, &mut doc),
-        "tlt-profile/v1" | "tlt-metrics/v1" => flatten_registry(&v, &mut doc),
+        "tlt-profile/v1" | "tlt-metrics/v1" | "tlt-serve/v1" => flatten_registry(&v, &mut doc),
         other => return Err(format!("unsupported schema {other:?}")),
     }
     Ok(doc)
@@ -666,6 +667,21 @@ mod tests {
         assert_eq!(doc.nums["hist/queue_depth/count"], 1.0);
         assert_eq!(doc.nums["series/events/sum"], 5.0);
         assert_eq!(doc.meta.get("scale").map(String::as_str), Some("quick"));
+    }
+
+    #[test]
+    fn parses_and_flattens_serve_report() {
+        let mut r = telemetry::ServeReport::new();
+        r.reg.inc("serve_requests/dctcp", 200);
+        r.reg.inc("serve_slo_viol_timeout/dctcp", 3);
+        r.reg.observe("serve_req_latency_ns/dctcp", 800_000);
+        r.reg.set_meta("scale", "k8");
+        let doc = load(&r.to_json()).unwrap();
+        assert_eq!(doc.schema, "tlt-serve/v1");
+        assert_eq!(doc.nums["counter/serve_requests/dctcp"], 200.0);
+        assert_eq!(doc.nums["counter/serve_slo_viol_timeout/dctcp"], 3.0);
+        assert_eq!(doc.nums["hist/serve_req_latency_ns/dctcp/count"], 1.0);
+        assert_eq!(doc.meta.get("scale").map(String::as_str), Some("k8"));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use dcsim::{FlowSpec, SimConfig};
+use dcsim::{FlowSpec, SimConfig, SimResult};
 use eventsim::SimTime;
 use telemetry::{Profile, Registry};
 
@@ -39,6 +39,7 @@ struct JobOut {
     trace: Option<Vec<u8>>,
     metrics: Option<Registry>,
     profile: Option<Profile>,
+    analysis: Option<Registry>,
 }
 
 /// Everything a finished plan knows beyond the per-scheme metrics.
@@ -65,7 +66,15 @@ pub struct PlanOutput {
     pub jobs_run: usize,
     /// Worker threads actually used.
     pub workers: usize,
+    /// Per-job analysis registries merged in plan order — `Some` only when
+    /// an [`RunPlan::analyze`] hook was installed. Like the other folds,
+    /// byte-identical under any `--jobs` value.
+    pub analysis: Option<Registry>,
 }
+
+/// Per-job analysis hook: `(scheme name, seed, finished run) -> registry
+/// fragment`, installed via [`RunPlan::analyze`].
+type AnalyzeFn<'a> = dyn Fn(&str, u64, &SimResult) -> Registry + Sync + 'a;
 
 /// A deterministic parallel experiment plan. See the module docs.
 pub struct RunPlan<'a> {
@@ -75,6 +84,7 @@ pub struct RunPlan<'a> {
     capture_trace: Option<Option<SimTime>>,
     capture_metrics: bool,
     shadow: bool,
+    analyze: Option<Box<AnalyzeFn<'a>>>,
 }
 
 impl<'a> RunPlan<'a> {
@@ -94,6 +104,7 @@ impl<'a> RunPlan<'a> {
             capture_trace: None,
             capture_metrics: false,
             shadow: false,
+            analyze: None,
         }
     }
 
@@ -122,6 +133,21 @@ impl<'a> RunPlan<'a> {
     /// how many legs the cross-check happened to execute.
     pub fn shadow(mut self) -> RunPlan<'a> {
         self.shadow = true;
+        self
+    }
+
+    /// Installs a per-job analysis hook, called as `(scheme_name, seed,
+    /// &result)` on every finished simulation *before* the raw result is
+    /// summarized away. The returned [`Registry`] fragments merge in plan
+    /// order into [`PlanOutput::analysis`], so any application-level
+    /// accounting built on the raw flow records (e.g. the serve layer's
+    /// per-request SLO join) inherits the byte-determinism of the other
+    /// folds for free.
+    pub fn analyze(
+        mut self,
+        f: impl Fn(&str, u64, &SimResult) -> Registry + Sync + 'a,
+    ) -> RunPlan<'a> {
+        self.analyze = Some(Box::new(f));
         self
     }
 
@@ -202,11 +228,13 @@ impl<'a> RunPlan<'a> {
                 runner::buffered_run(&spec.name, cfg, flows, trace_on, sample_every, metrics_on);
             let metrics = res.metrics.take();
             let profile = res.profile.take();
+            let analysis = self.analyze.as_ref().map(|f| f(&spec.name, seed, &res));
             JobOut {
                 outcome: MixOutcome::from_result(res),
                 trace,
                 metrics,
                 profile,
+                analysis,
             }
         };
 
@@ -244,6 +272,7 @@ impl<'a> RunPlan<'a> {
         let mut trace = Vec::new();
         let mut merged = metrics_on.then(Registry::new);
         let mut profile: Option<Profile> = None;
+        let mut analysis = self.analyze.is_some().then(Registry::new);
         let mut events_scheduled = 0u64;
         for (slot, &(si, _seed)) in slots.iter().zip(&jobs) {
             let out = slot.lock().unwrap().take().expect("every job completed");
@@ -257,6 +286,9 @@ impl<'a> RunPlan<'a> {
             }
             if let Some(p) = &out.profile {
                 profile.get_or_insert_with(Profile::new).merge(p);
+            }
+            if let (Some(a), Some(r)) = (&mut analysis, &out.analysis) {
+                a.merge(r);
             }
         }
         if global.is_some() && !self.shadow {
@@ -280,6 +312,7 @@ impl<'a> RunPlan<'a> {
             events_scheduled,
             jobs_run: jobs.len(),
             workers,
+            analysis,
         }
     }
 }
@@ -360,6 +393,37 @@ mod tests {
         );
         assert_eq!(seq, par, "metrics JSON differs under --jobs");
         assert_eq!(par, again, "metrics JSON differs across identical runs");
+    }
+
+    /// The analysis hook sees every (scheme, seed) job's raw result and its
+    /// fragments fold byte-identically under any worker count.
+    #[test]
+    fn analysis_fold_is_byte_identical_across_jobs() {
+        let run = |jobs: usize| {
+            tiny_plan(jobs)
+                .analyze(|name, seed, res| {
+                    let mut r = Registry::new();
+                    r.inc(&format!("jobs_seen/{name}"), 1);
+                    r.inc(&format!("seed_sum/{name}"), seed);
+                    r.inc(&format!("flows/{name}"), res.flows.len() as u64);
+                    r
+                })
+                .run_detailed()
+                .analysis
+                .expect("analyze hook installed")
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.counter("jobs_seen/base"), 2, "one per seed");
+        assert_eq!(seq.counter("seed_sum/tlt"), 3, "seeds 1 + 2");
+        assert!(seq.counter("flows/base") > 0);
+        assert_eq!(
+            seq.to_json(),
+            par.to_json(),
+            "analysis differs under --jobs"
+        );
+        // Without the hook, the output stays None.
+        assert!(tiny_plan(1).run_detailed().analysis.is_none());
     }
 
     /// The acceptance bar for the engine profiler: the plan-order fold

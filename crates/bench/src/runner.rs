@@ -77,13 +77,23 @@ impl Args {
             Ok(args) => args,
             Err(msg) => usage(&msg),
         };
-        if let Some(path) = &args.trace {
-            init_trace(path, args.trace_sample_ns);
+        args.init_outputs();
+        args
+    }
+
+    /// Installs the global `--trace` / `--metrics` / `--profile-out`
+    /// outputs this argument set requests and stamps their provenance.
+    /// [`Args::parse`] does this automatically; binaries that pre-extract
+    /// bespoke flags and go through [`Args::parse_from`] themselves (e.g.
+    /// `serve_grid --scale`) must call it once before running anything.
+    pub fn init_outputs(&self) {
+        if let Some(path) = &self.trace {
+            init_trace(path, self.trace_sample_ns);
         }
-        if let Some(path) = &args.metrics {
+        if let Some(path) = &self.metrics {
             init_metrics(path);
         }
-        if let Some(path) = &args.profile_out {
+        if let Some(path) = &self.profile_out {
             if !cfg!(feature = "profile") {
                 eprintln!(
                     "warning: --profile-out was given but the bench crate was built \
@@ -94,20 +104,19 @@ impl Args {
         }
         // Stamp provenance into the deterministic exports before any run
         // merges in (meta merges first-wins, so the stamp is pinned).
-        if args.metrics.is_some() || args.profile_out.is_some() {
-            let prov = crate::profiler::Provenance::deterministic(&args);
-            if args.metrics.is_some() {
+        if self.metrics.is_some() || self.profile_out.is_some() {
+            let prov = crate::profiler::Provenance::deterministic(self);
+            if self.metrics.is_some() {
                 let mut r = Registry::new();
                 prov.stamp(&mut r);
                 merge_metrics(&r);
             }
-            if args.profile_out.is_some() {
+            if self.profile_out.is_some() {
                 let mut p = Profile::new();
                 prov.stamp_profile(&mut p);
                 merge_profile(&p);
             }
         }
-        args
     }
 
     /// Parses an explicit argument list (no I/O, no process exit), so the

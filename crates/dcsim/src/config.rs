@@ -18,10 +18,20 @@ pub struct FlowSpec {
     pub dst: usize,
     /// Payload bytes.
     pub bytes: u64,
-    /// Arrival time.
+    /// Arrival time. For a dependent flow (`after` set) this is instead a
+    /// *relative* delay after the parent's completion; the engine rewrites
+    /// it to the absolute start time when the parent finishes, so
+    /// `SimResult` records always carry absolute starts.
     pub start: SimTime,
     /// Foreground (latency-sensitive incast) flow?
     pub fg: bool,
+    /// Flow-completion trigger: when `Some(parent)`, this flow starts only
+    /// once flow index `parent` completes (plus the `start` delay) instead
+    /// of at an absolute time. The application layer (`crates/serve`) uses
+    /// this for fan-out/fan-in request chains — a response flow fires when
+    /// its query flow is fully delivered. The parent must precede this flow
+    /// in the spec list, which rules out cycles by construction.
+    pub after: Option<u32>,
 }
 
 impl FlowSpec {
@@ -33,7 +43,15 @@ impl FlowSpec {
             bytes,
             start,
             fg,
+            after: None,
         }
+    }
+
+    /// Makes this flow start when flow index `parent` completes, treating
+    /// `start` as a relative delay (think time) from that completion.
+    pub fn after(mut self, parent: u32) -> FlowSpec {
+        self.after = Some(parent);
+        self
     }
 }
 

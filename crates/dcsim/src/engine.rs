@@ -332,6 +332,10 @@ pub struct Engine {
     ports: Vec<Vec<PortState>>,
     host_q: Vec<std::collections::VecDeque<PacketRef>>,
     flows: Vec<FlowRuntime>,
+    /// Flow-completion callbacks: `dependents[p]` lists the flows whose
+    /// `FlowSpec::after == Some(p)`; their FlowStart is scheduled when `p`
+    /// completes (fan-out/fan-in request chains). Drained on fire.
+    dependents: Vec<Vec<u32>>,
     queue: EventQueue<Event>,
     /// Arena for in-flight packets (see [`Event::Deliver`]).
     pkts: PacketSlab,
@@ -411,6 +415,7 @@ impl Engine {
         // handful of serialization times — we use the pure propagation
         // figure the paper quotes (e.g. 80 μs for 4 hops at 10 μs).
         let max_hops = match cfg.topology {
+            netsim::topology::TopologySpec::FatTree { .. } => 6,
             netsim::topology::TopologySpec::LeafSpine { .. } => 4,
             netsim::topology::TopologySpec::Dumbbell { .. } => 3,
             netsim::topology::TopologySpec::SingleSwitch { .. } => 2,
@@ -432,6 +437,7 @@ impl Engine {
         #[cfg(feature = "profile")]
         let mut prof = crate::profile::EngineProf::new();
         let mut flows = Vec::with_capacity(specs.len());
+        let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); specs.len()];
         for (i, spec) in specs.into_iter().enumerate() {
             assert_ne!(spec.src, spec.dst, "flow {i}: src == dst");
             let src = hosts[spec.src];
@@ -440,9 +446,22 @@ impl Engine {
             let (path_fwd, path_rev) = topo.pin_paths(src, dst, hash);
             let (sender, receiver) =
                 build_transport(&cfg, FlowId(i as u32), spec.bytes, base_rtt, bdp);
-            #[cfg(feature = "profile")]
-            prof.on_sched(crate::profile::EvKind::FlowStart);
-            queue.schedule(spec.start, Event::FlowStart(i as u32));
+            match spec.after {
+                // A dependent flow waits for its parent's completion
+                // callback instead of an absolute FlowStart.
+                Some(parent) => {
+                    assert!(
+                        (parent as usize) < i,
+                        "flow {i}: completion trigger {parent} must precede it"
+                    );
+                    dependents[parent as usize].push(i as u32);
+                }
+                None => {
+                    #[cfg(feature = "profile")]
+                    prof.on_sched(crate::profile::EvKind::FlowStart);
+                    queue.schedule(spec.start, Event::FlowStart(i as u32));
+                }
+            }
             flows.push(FlowRuntime {
                 spec,
                 src,
@@ -509,6 +528,7 @@ impl Engine {
             ports,
             host_q,
             flows,
+            dependents,
             queue,
             pkts: PacketSlab::with_capacity(1024),
             now: SimTime::ZERO,
@@ -1076,6 +1096,16 @@ impl Engine {
             if finished {
                 self.tracer
                     .emit(self.now, || TraceEvent::FlowEnd { flow: f });
+                // Flow-completion callbacks: release dependent flows, their
+                // `start` now interpreted as think-time after completion.
+                // The spec's relative delay is rewritten to the absolute
+                // start so `SimResult` records stay uniform.
+                let deps = std::mem::take(&mut self.dependents[f as usize]);
+                for d in deps {
+                    let at = self.now + self.flows[d as usize].spec.start;
+                    self.flows[d as usize].spec.start = at;
+                    self.sched(at, Event::FlowStart(d));
+                }
             }
             self.flush_actions(f);
             return true;
@@ -1743,6 +1773,77 @@ mod tests {
         // Determinism: a second identical run serializes byte-identically.
         let again = run();
         assert_eq!(p.to_json(), again.profile.as_ref().unwrap().to_json());
+    }
+
+    /// Flow-completion callbacks: a dependent flow starts exactly at its
+    /// parent's completion plus the think-time delay, and its record
+    /// carries the rewritten absolute start.
+    #[test]
+    fn dependent_flow_starts_after_parent_completes() {
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(3));
+        let think = SimTime::from_us(10);
+        let flows = vec![
+            FlowSpec::new(0, 1, 50_000, SimTime::ZERO, true),
+            FlowSpec::new(1, 0, 100_000, think, true).after(0),
+        ];
+        let res = Engine::new(cfg, flows).run();
+        let parent_end = res.flows[0].end.expect("parent completed");
+        assert_eq!(res.flows[1].start, parent_end + think);
+        let child_end = res.flows[1].end.expect("child completed");
+        assert!(child_end > parent_end + think);
+    }
+
+    /// Fan-out: several dependents of one parent all fire at the same
+    /// completion instant; an unrelated absolute-start flow is unaffected.
+    #[test]
+    fn completion_fanout_releases_every_dependent() {
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(4));
+        let flows = vec![
+            FlowSpec::new(0, 1, 20_000, SimTime::ZERO, true),
+            FlowSpec::new(1, 2, 8_000, SimTime::ZERO, true).after(0),
+            FlowSpec::new(1, 3, 8_000, SimTime::from_us(5), true).after(0),
+            FlowSpec::new(2, 3, 8_000, SimTime::from_us(1), false),
+        ];
+        let res = Engine::new(cfg, flows).run();
+        let parent_end = res.flows[0].end.expect("parent completed");
+        assert_eq!(res.flows[1].start, parent_end);
+        assert_eq!(res.flows[2].start, parent_end + SimTime::from_us(5));
+        for f in &res.flows {
+            assert!(f.end.is_some(), "flow {} incomplete", f.id);
+        }
+        assert_eq!(
+            res.flows[3].start,
+            SimTime::from_us(1),
+            "absolute start kept"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn forward_completion_trigger_is_rejected() {
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(3));
+        let flows = vec![
+            FlowSpec::new(0, 1, 1_000, SimTime::ZERO, true).after(1),
+            FlowSpec::new(1, 0, 1_000, SimTime::ZERO, true),
+        ];
+        let _ = Engine::new(cfg, flows);
+    }
+
+    /// Engine × fat-tree integration: a cross-pod flow traverses six hops
+    /// and completes; base RTT derives from the 6-hop diameter.
+    #[test]
+    fn fat_tree_cross_pod_flow_completes() {
+        let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp).with_topology(
+            netsim::topology::TopologySpec::paper_fat_tree(4, SimTime::from_us(10)),
+        );
+        cfg.seed = 3;
+        let res = Engine::new(
+            cfg,
+            vec![FlowSpec::new(0, 15, 200_000, SimTime::ZERO, true)],
+        )
+        .run();
+        assert!(res.flows[0].end.is_some(), "cross-pod flow completed");
+        assert_eq!(res.agg.timeouts, 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod ledger;
 pub mod profile;
 
 pub use config::{small_single_switch, FlowSpec, SimConfig, SwitchParams, TltSettings};
-pub use engine::{AggregateStats, Engine, SimResult};
+pub use engine::{AggregateStats, Engine, RtoForensicRec, SimResult};
 
 // Re-exported so engine users can build fault schedules without naming the
 // `faults` crate in their own dependency list.

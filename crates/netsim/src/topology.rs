@@ -6,10 +6,13 @@
 //! property directly: a flow's forward and reverse paths are computed once
 //! from a flow hash and pinned; packets carry only a hop index.
 //!
-//! Three topologies cover every experiment in the paper:
+//! Four topologies cover every experiment in the paper plus the serving
+//! grid:
 //! - [`TopologySpec::LeafSpine`]: the large-scale simulation fabric (§7.1),
 //! - [`TopologySpec::SingleSwitch`]: the incast / Redis testbed (§7.3–7.4),
-//! - [`TopologySpec::Dumbbell`]: the mixed-traffic PFC experiment (§7.4).
+//! - [`TopologySpec::Dumbbell`]: the mixed-traffic PFC experiment (§7.4),
+//! - [`TopologySpec::FatTree`]: a k-ary three-tier Clos (core/aggregation/
+//!   edge) for multi-pod scale runs — k³/4 hosts, two-level ECMP.
 
 use eventsim::SimTime;
 
@@ -92,7 +95,86 @@ pub enum TopologySpec {
         /// The switch↔switch bottleneck link.
         cross_link: LinkSpec,
     },
+    /// A k-ary fat-tree (three-tier Clos): k pods, each with k/2 edge (ToR)
+    /// and k/2 aggregation switches, (k/2)² cores, k/2 hosts per edge —
+    /// the textbook 5k²/4 switches and k³/4 hosts. `k` must be even and
+    /// ≥ 2. ECMP picks one of the (k/2)² core paths per flow from the flow
+    /// hash; both directions of a flow traverse the same switches.
+    FatTree {
+        /// Pod degree (ports per switch); even.
+        k: usize,
+        /// Host↔edge link.
+        host_link: LinkSpec,
+        /// Edge↔aggregation and aggregation↔core link.
+        fabric_link: LinkSpec,
+    },
 }
+
+/// Why a [`TopologySpec`] cannot be built.
+///
+/// Returned by [`TopologySpec::try_build`]; [`TopologySpec::build`] panics
+/// with the same message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TopologyError {
+    /// A leaf–spine tier is empty (zero cores, ToRs, or hosts per ToR).
+    DegenerateLeafSpine {
+        /// Spine switches requested.
+        cores: usize,
+        /// Leaf switches requested.
+        tors: usize,
+        /// Hosts per leaf requested.
+        hosts_per_tor: usize,
+    },
+    /// A single-switch topology needs at least two hosts to carry a flow.
+    TooFewHosts {
+        /// Hosts requested.
+        hosts: usize,
+    },
+    /// A dumbbell side has no hosts.
+    EmptyDumbbellSide {
+        /// Hosts on the left switch.
+        left_hosts: usize,
+        /// Hosts on the right switch.
+        right_hosts: usize,
+    },
+    /// A fat-tree degree that is odd or too small to form a pod.
+    BadFatTreeDegree {
+        /// The offending k.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TopologyError::DegenerateLeafSpine {
+                cores,
+                tors,
+                hosts_per_tor,
+            } => write!(
+                f,
+                "degenerate leaf-spine: cores={cores}, tors={tors}, \
+                 hosts_per_tor={hosts_per_tor} (all must be > 0)"
+            ),
+            TopologyError::TooFewHosts { hosts } => {
+                write!(f, "single switch needs at least two hosts, got {hosts}")
+            }
+            TopologyError::EmptyDumbbellSide {
+                left_hosts,
+                right_hosts,
+            } => write!(
+                f,
+                "dumbbell needs hosts on both sides, got left={left_hosts}, \
+                 right={right_hosts}"
+            ),
+            TopologyError::BadFatTreeDegree { k } => {
+                write!(f, "fat-tree degree k={k} must be even and >= 2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 impl TopologySpec {
     /// The paper's §7.1 fabric: 96 hosts, 4 cores, 12 ToRs, 40 Gbps links
@@ -108,13 +190,65 @@ impl TopologySpec {
         }
     }
 
-    /// Builds the concrete [`Topology`].
-    ///
-    /// # Panics
-    ///
-    /// Panics on degenerate shapes (no hosts, no switches).
-    pub fn build(&self) -> Topology {
+    /// A k-ary fat-tree with the paper's 40 Gbps links and `latency` per
+    /// hop. k=8 gives 128 hosts; k=24 gives 3456.
+    pub fn paper_fat_tree(k: usize, latency: SimTime) -> TopologySpec {
+        let l = LinkSpec::new(40_000_000_000, latency);
+        TopologySpec::FatTree {
+            k,
+            host_link: l,
+            fabric_link: l,
+        }
+    }
+
+    /// Checks the spec for degenerate shapes without building it.
+    pub fn validate(&self) -> Result<(), TopologyError> {
         match *self {
+            TopologySpec::LeafSpine {
+                cores,
+                tors,
+                hosts_per_tor,
+                ..
+            } => {
+                if cores == 0 || tors == 0 || hosts_per_tor == 0 {
+                    return Err(TopologyError::DegenerateLeafSpine {
+                        cores,
+                        tors,
+                        hosts_per_tor,
+                    });
+                }
+            }
+            TopologySpec::SingleSwitch { hosts, .. } => {
+                if hosts < 2 {
+                    return Err(TopologyError::TooFewHosts { hosts });
+                }
+            }
+            TopologySpec::Dumbbell {
+                left_hosts,
+                right_hosts,
+                ..
+            } => {
+                if left_hosts == 0 || right_hosts == 0 {
+                    return Err(TopologyError::EmptyDumbbellSide {
+                        left_hosts,
+                        right_hosts,
+                    });
+                }
+            }
+            TopologySpec::FatTree { k, .. } => {
+                if k < 2 || k % 2 != 0 {
+                    return Err(TopologyError::BadFatTreeDegree { k });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the concrete [`Topology`], rejecting degenerate shapes with a
+    /// typed error instead of panicking mid-build.
+    pub fn try_build(&self) -> Result<Topology, TopologyError> {
+        self.validate()?;
+        Ok(match *self {
             TopologySpec::LeafSpine {
                 cores,
                 tors,
@@ -131,6 +265,24 @@ impl TopologySpec {
                 host_link,
                 cross_link,
             } => Topology::dumbbell(left_hosts, right_hosts, host_link, cross_link),
+            TopologySpec::FatTree {
+                k,
+                host_link,
+                fabric_link,
+            } => Topology::fat_tree(k, host_link, fabric_link),
+        })
+    }
+
+    /// Builds the concrete [`Topology`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate shapes (see [`TopologyError`]); use
+    /// [`TopologySpec::try_build`] for a fallible build.
+    pub fn build(&self) -> Topology {
+        match self.try_build() {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -144,6 +296,9 @@ enum Shape {
     SingleSwitch,
     Dumbbell {
         left_hosts: usize,
+    },
+    FatTree {
+        k: usize,
     },
 }
 
@@ -283,6 +438,56 @@ impl Topology {
             t.connect(right, h, host_link);
         }
         t.connect(left, right, cross_link);
+        t
+    }
+
+    /// Builds a k-ary fat-tree. Node numbering: the (k/2)² cores first,
+    /// then the k·k/2 aggregation switches (pod-major), then the k·k/2
+    /// edge switches (pod-major), then the k³/4 hosts (pod-major, edge-
+    /// major). Port numbering:
+    /// - edge: ports 0..k/2 down to hosts (host order), k/2..k up to the
+    ///   pod's aggs (agg order);
+    /// - agg: ports 0..k/2 down to the pod's edges (edge order), k/2..k up
+    ///   to its core group (core order) — agg `a` serves cores
+    ///   `a·k/2 .. (a+1)·k/2`;
+    /// - core: port p reaches pod p.
+    fn fat_tree(k: usize, host_link: LinkSpec, fabric_link: LinkSpec) -> Topology {
+        debug_assert!(k >= 2 && k.is_multiple_of(2), "validate() vets k first");
+        let half = k / 2;
+        let n_cores = half * half;
+        let mut t = Topology::empty(Shape::FatTree { k });
+        let cores: Vec<NodeId> = (0..n_cores).map(|_| t.add_node(NodeKind::Switch)).collect();
+        let aggs: Vec<NodeId> = (0..k * half)
+            .map(|_| t.add_node(NodeKind::Switch))
+            .collect();
+        let edges: Vec<NodeId> = (0..k * half)
+            .map(|_| t.add_node(NodeKind::Switch))
+            .collect();
+        // Hosts first so edge down-ports are 0..k/2 in host order.
+        for &edge in &edges {
+            for _ in 0..half {
+                let h = t.add_node(NodeKind::Host);
+                t.connect(edge, h, host_link);
+            }
+        }
+        // Edge uplinks (ports k/2..k, agg order); agg down-ports follow in
+        // edge order because the edge loop is outermost per pod.
+        for p in 0..k {
+            for e in 0..half {
+                for a in 0..half {
+                    t.connect(edges[p * half + e], aggs[p * half + a], fabric_link);
+                }
+            }
+        }
+        // Agg uplinks (ports k/2..k, core order); each core sees the pods
+        // in order, so core port p reaches pod p.
+        for p in 0..k {
+            for a in 0..half {
+                for j in 0..half {
+                    t.connect(aggs[p * half + a], cores[a * half + j], fabric_link);
+                }
+            }
+        }
         t
     }
 
@@ -519,6 +724,132 @@ impl Topology {
                     (fwd, rev)
                 }
             }
+            Shape::FatTree { k } => {
+                let half = (k / 2) as u32;
+                let kk = k as u32;
+                let n_cores = half * half;
+                let first_agg = n_cores;
+                let first_edge = n_cores + kk * half;
+                let first_host = n_cores + 2 * kk * half;
+                let hidx = |h: NodeId| h.0 - first_host;
+                let pod_of = |h: NodeId| hidx(h) / (half * half);
+                let edge_within = |h: NodeId| (hidx(h) % (half * half)) / half;
+                let local_port = |h: NodeId| PortId(hidx(h) % half);
+                let edge_node = |p: u32, e: u32| NodeId(first_edge + p * half + e);
+                let agg_node = |p: u32, a: u32| NodeId(first_agg + p * half + a);
+                let (sp, se) = (pod_of(src), edge_within(src));
+                let (dp, de) = (pod_of(dst), edge_within(dst));
+                let host_hop = |h: NodeId| Hop {
+                    node: h,
+                    port: PortId(0),
+                };
+                if sp == dp && se == de {
+                    // Same edge switch: two transmission hops.
+                    let fwd = vec![
+                        host_hop(src),
+                        Hop {
+                            node: edge_node(sp, se),
+                            port: local_port(dst),
+                        },
+                    ];
+                    let rev = vec![
+                        host_hop(dst),
+                        Hop {
+                            node: edge_node(sp, se),
+                            port: local_port(src),
+                        },
+                    ];
+                    (fwd, rev)
+                } else if sp == dp {
+                    // Same pod: up to one of the k/2 aggs, back down.
+                    let a = (flow_hash % u64::from(half)) as u32;
+                    let fwd = vec![
+                        host_hop(src),
+                        Hop {
+                            node: edge_node(sp, se),
+                            port: PortId(half + a),
+                        },
+                        Hop {
+                            node: agg_node(sp, a),
+                            port: PortId(de),
+                        },
+                        Hop {
+                            node: edge_node(dp, de),
+                            port: local_port(dst),
+                        },
+                    ];
+                    let rev = vec![
+                        host_hop(dst),
+                        Hop {
+                            node: edge_node(dp, de),
+                            port: PortId(half + a),
+                        },
+                        Hop {
+                            node: agg_node(sp, a),
+                            port: PortId(se),
+                        },
+                        Hop {
+                            node: edge_node(sp, se),
+                            port: local_port(src),
+                        },
+                    ];
+                    (fwd, rev)
+                } else {
+                    // Cross-pod: two-level ECMP picks agg `a` then core `j`
+                    // within its group; the core fixes agg `a` in the
+                    // destination pod, so both directions share switches.
+                    let a = (flow_hash % u64::from(half)) as u32;
+                    let j = ((flow_hash / u64::from(half)) % u64::from(half)) as u32;
+                    let core = NodeId(a * half + j);
+                    let fwd = vec![
+                        host_hop(src),
+                        Hop {
+                            node: edge_node(sp, se),
+                            port: PortId(half + a),
+                        },
+                        Hop {
+                            node: agg_node(sp, a),
+                            port: PortId(half + j),
+                        },
+                        Hop {
+                            node: core,
+                            port: PortId(dp),
+                        },
+                        Hop {
+                            node: agg_node(dp, a),
+                            port: PortId(de),
+                        },
+                        Hop {
+                            node: edge_node(dp, de),
+                            port: local_port(dst),
+                        },
+                    ];
+                    let rev = vec![
+                        host_hop(dst),
+                        Hop {
+                            node: edge_node(dp, de),
+                            port: PortId(half + a),
+                        },
+                        Hop {
+                            node: agg_node(dp, a),
+                            port: PortId(half + j),
+                        },
+                        Hop {
+                            node: core,
+                            port: PortId(sp),
+                        },
+                        Hop {
+                            node: agg_node(sp, a),
+                            port: PortId(se),
+                        },
+                        Hop {
+                            node: edge_node(sp, se),
+                            port: local_port(src),
+                        },
+                    ];
+                    (fwd, rev)
+                }
+            }
         }
     }
 
@@ -722,5 +1053,201 @@ mod tests {
                 assert!(seen.insert(hop.node), "case {case}: loop in path");
             }
         }
+    }
+
+    /// Textbook fat-tree counts hold for every even k: 5k²/4 switches,
+    /// k³/4 hosts, k ports per switch, one port per host.
+    #[test]
+    fn prop_fat_tree_textbook_counts() {
+        for k in [2usize, 4, 6, 8, 10] {
+            let t = TopologySpec::paper_fat_tree(k, SimTime::from_us(1)).build();
+            assert_eq!(t.hosts().len(), k * k * k / 4, "k={k} hosts");
+            let switches = t.node_count() - t.hosts().len();
+            assert_eq!(switches, 5 * k * k / 4, "k={k} switches");
+            for n in 0..switches {
+                assert_eq!(t.port_count(NodeId(n as u32)), k, "k={k} switch ports");
+            }
+            for &h in t.hosts() {
+                assert_eq!(t.port_count(h), 1, "k={k} host ports");
+            }
+        }
+    }
+
+    /// Randomly sampled host pairs in a k=8 fat-tree yield valid, loop-free
+    /// paths whose reverse walks the same switches in reverse (up/down
+    /// consistency), with the textbook hop counts per locality class.
+    #[test]
+    fn prop_fat_tree_paths_consistent() {
+        let t = TopologySpec::paper_fat_tree(8, SimTime::from_us(1)).build();
+        let hosts = t.hosts().to_vec();
+        let mut rng = eventsim::SimRng::seed_from(0xFA77);
+        for case in 0..256 {
+            let a = rng.gen_range_usize(0..hosts.len());
+            let b = rng.gen_range_usize(0..hosts.len());
+            if a == b {
+                continue;
+            }
+            let salt = rng.gen_range_u64(0..1000);
+            let h = Topology::ecmp_hash(hosts[a], hosts[b], salt);
+            let (fwd, rev) = t.pin_paths(hosts[a], hosts[b], h);
+            validate_path(&t, &fwd, hosts[a], hosts[b]);
+            validate_path(&t, &rev, hosts[b], hosts[a]);
+            assert_eq!(fwd.len(), rev.len(), "case {case}");
+            assert!(matches!(fwd.len(), 2 | 4 | 6), "case {case}: {}", fwd.len());
+            // Up/down consistency: the reverse path visits the same
+            // switches in the opposite order.
+            let up: Vec<NodeId> = fwd.iter().skip(1).map(|h| h.node).collect();
+            let down: Vec<NodeId> = rev.iter().skip(1).rev().map(|h| h.node).collect();
+            assert_eq!(up, down, "case {case}: fwd/rev switch sets differ");
+            // simlint: allow(unordered, insert-only membership check)
+            let mut seen = std::collections::HashSet::new();
+            for hop in &fwd {
+                assert!(seen.insert(hop.node), "case {case}: loop in path");
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_ecmp_spreads_over_all_cores() {
+        let t = TopologySpec::paper_fat_tree(4, SimTime::from_us(1)).build();
+        let hosts = t.hosts().to_vec();
+        let last = hosts.len() - 1;
+        // simlint: allow(unordered, insert/len only — never iterated)
+        let mut seen = std::collections::HashSet::new();
+        for salt in 0..256 {
+            let h = Topology::ecmp_hash(hosts[0], hosts[last], salt);
+            let (fwd, _) = t.pin_paths(hosts[0], hosts[last], h);
+            seen.insert(fwd[3].node);
+        }
+        assert_eq!(seen.len(), 4, "all (k/2)² cores used across hashes");
+    }
+
+    /// Golden determinism: two identically-seeded builds pin identical
+    /// ECMP paths, and the selection itself is stable across releases —
+    /// the literal core choices below are part of the artifact format.
+    #[test]
+    fn fat_tree_ecmp_selection_is_golden() {
+        let spec = TopologySpec::paper_fat_tree(8, SimTime::from_us(1));
+        let t1 = spec.build();
+        let t2 = spec.build();
+        let hosts = t1.hosts().to_vec();
+        for (a, b) in [(0usize, 127usize), (3, 64), (17, 99), (40, 8)] {
+            for salt in 0..16 {
+                let h = Topology::ecmp_hash(hosts[a], hosts[b], salt);
+                let (f1, r1) = t1.pin_paths(hosts[a], hosts[b], h);
+                let (f2, r2) = t2.pin_paths(hosts[a], hosts[b], h);
+                assert_eq!(f1, f2, "({a},{b}) salt {salt}: builds disagree");
+                assert_eq!(r1, r2, "({a},{b}) salt {salt}: builds disagree");
+            }
+        }
+        // Pinned core selections for (src, dst, salt) triples; a change
+        // here is a change in path hashing and breaks artifact stability.
+        let golden_core = |a: usize, b: usize, salt: u64| {
+            let h = Topology::ecmp_hash(hosts[a], hosts[b], salt);
+            t1.pin_paths(hosts[a], hosts[b], h).0[3].node.0
+        };
+        let got: Vec<u32> = [(0, 127, 0), (0, 127, 1), (3, 64, 7), (17, 99, 42)]
+            .iter()
+            .map(|&(a, b, s)| golden_core(a, b, s))
+            .collect();
+        assert_eq!(got, golden_fat_tree_cores(), "pinned ECMP cores moved");
+    }
+
+    /// The pinned values for `fat_tree_ecmp_selection_is_golden`, kept in
+    /// one place so an intentional hash change is a one-line update.
+    fn golden_fat_tree_cores() -> Vec<u32> {
+        vec![4, 13, 3, 15]
+    }
+
+    #[test]
+    fn degenerate_specs_yield_typed_errors() {
+        let link = l();
+        let cases: Vec<(TopologySpec, TopologyError)> = vec![
+            (
+                TopologySpec::LeafSpine {
+                    cores: 0,
+                    tors: 12,
+                    hosts_per_tor: 8,
+                    host_link: link,
+                    fabric_link: link,
+                },
+                TopologyError::DegenerateLeafSpine {
+                    cores: 0,
+                    tors: 12,
+                    hosts_per_tor: 8,
+                },
+            ),
+            (
+                TopologySpec::LeafSpine {
+                    cores: 4,
+                    tors: 0,
+                    hosts_per_tor: 8,
+                    host_link: link,
+                    fabric_link: link,
+                },
+                TopologyError::DegenerateLeafSpine {
+                    cores: 4,
+                    tors: 0,
+                    hosts_per_tor: 8,
+                },
+            ),
+            (
+                TopologySpec::LeafSpine {
+                    cores: 4,
+                    tors: 12,
+                    hosts_per_tor: 0,
+                    host_link: link,
+                    fabric_link: link,
+                },
+                TopologyError::DegenerateLeafSpine {
+                    cores: 4,
+                    tors: 12,
+                    hosts_per_tor: 0,
+                },
+            ),
+            (
+                TopologySpec::SingleSwitch {
+                    hosts: 1,
+                    host_link: link,
+                },
+                TopologyError::TooFewHosts { hosts: 1 },
+            ),
+            (
+                TopologySpec::Dumbbell {
+                    left_hosts: 0,
+                    right_hosts: 3,
+                    host_link: link,
+                    cross_link: link,
+                },
+                TopologyError::EmptyDumbbellSide {
+                    left_hosts: 0,
+                    right_hosts: 3,
+                },
+            ),
+            (
+                TopologySpec::paper_fat_tree(0, SimTime::from_us(1)),
+                TopologyError::BadFatTreeDegree { k: 0 },
+            ),
+            (
+                TopologySpec::paper_fat_tree(7, SimTime::from_us(1)),
+                TopologyError::BadFatTreeDegree { k: 7 },
+            ),
+        ];
+        for (spec, want) in cases {
+            assert_eq!(spec.try_build().err(), Some(want), "{spec:?}");
+            assert!(spec.validate().is_err());
+        }
+        // Errors render a human-readable reason.
+        let msg = TopologySpec::paper_fat_tree(7, SimTime::from_us(1))
+            .validate()
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("k=7"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn build_panics_with_typed_message() {
+        let _ = TopologySpec::paper_fat_tree(5, SimTime::from_us(1)).build();
     }
 }

@@ -49,12 +49,13 @@ impl std::fmt::Display for Finding {
 }
 
 /// Crates the determinism rules apply to.
-const SIM_CRATES: [&str; 8] = [
+const SIM_CRATES: [&str; 9] = [
     "core",
     "dcsim",
     "eventsim",
     "faults",
     "netsim",
+    "serve",
     "stats",
     "transport",
     "workload",

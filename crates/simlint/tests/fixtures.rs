@@ -318,6 +318,33 @@ fn findings_are_sorted_and_deduped() {
     assert_eq!(f, sorted);
 }
 
+// ------------------------------------------------------ serve crate scope
+
+/// The serve crate generates flows that feed the engine, so it sits inside
+/// the determinism perimeter: request streams built off a hash container or
+/// the wall clock would break the byte-identical `--jobs` contract.
+#[test]
+fn serve_crate_is_in_the_determinism_scan_set() {
+    let f = lint(&[(
+        "crates/serve/src/lib.rs",
+        "use std::collections::HashMap;\n\
+         fn arrivals() { let t = std::time::SystemTime::now(); }\n",
+    )]);
+    assert_eq!(rules(&f), ["D1", "D2"]);
+
+    // The real implementation's ingredients pass clean: BTreeMap keying and
+    // SimRng-driven sampling.
+    let f = lint(&[(
+        "crates/serve/src/lib.rs",
+        "use std::collections::BTreeMap;\n\
+         fn gap(rng: &mut SimRng, mean: f64) -> f64 { rng.gen_exponential(mean) }\n",
+    )]);
+    assert!(
+        f.is_empty(),
+        "serve's real ingredients are lint-clean: {f:?}"
+    );
+}
+
 // ------------------------------------------------- event-queue hot path
 
 /// The radix-wheel event queue is squarely inside the determinism

@@ -34,6 +34,42 @@ impl FlowRecord {
     }
 }
 
+/// Latency of a fan-in group: the time from `start` (a request's arrival)
+/// to the *last* completion among `flows` — the partition–aggregate metric
+/// where one straggler flow determines the whole request's latency.
+///
+/// Returns `None` when the group is empty or any member is incomplete (a
+/// request that never finished has no latency, only an `incomplete` tally).
+///
+/// # Examples
+///
+/// ```
+/// use netstats::{fanin_latency, FlowRecord};
+/// use eventsim::SimTime;
+///
+/// let mk = |end_us| FlowRecord {
+///     id: 0, src: 0, dst: 1, bytes: 1_000,
+///     start: SimTime::from_us(10), end: Some(SimTime::from_us(end_us)),
+///     fg: true, timeouts: 0, retx: 0,
+/// };
+/// let group = [mk(40), mk(90)];
+/// assert_eq!(
+///     fanin_latency(SimTime::from_us(10), group.iter()),
+///     Some(SimTime::from_us(80)),
+/// );
+/// ```
+pub fn fanin_latency<'a>(
+    start: SimTime,
+    flows: impl IntoIterator<Item = &'a FlowRecord>,
+) -> Option<SimTime> {
+    let mut last: Option<SimTime> = None;
+    for f in flows {
+        let end = f.end?;
+        last = Some(last.map_or(end, |l| l.max(end)));
+    }
+    last.map(|l| l.saturating_sub(start))
+}
+
 /// FCT summary for one class of flows (the quantities the paper's bar
 /// charts report).
 #[derive(Clone, Debug, Default)]
@@ -167,6 +203,27 @@ mod tests {
         let s = summarize_flows(flows.iter(), |_| true);
         // 10 kB in 1 ms = 80 Mbps.
         assert!((s.goodput_bps - 80e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn fanin_latency_takes_the_straggler() {
+        let start = SimTime::from_us(5);
+        let group = [mk(0, true, Some(100), 0), mk(1, true, Some(40), 0)];
+        assert_eq!(
+            fanin_latency(start, group.iter()),
+            Some(SimTime::from_us(100))
+        );
+        // Any incomplete member, or an empty group, yields no latency.
+        let broken = [mk(0, true, Some(100), 0), mk(1, true, None, 0)];
+        assert_eq!(fanin_latency(start, broken.iter()), None);
+        assert_eq!(fanin_latency(start, [].iter()), None);
+        // A completion recorded before `start` clamps at zero rather than
+        // wrapping.
+        let early = [mk(0, true, Some(0), 0)];
+        assert_eq!(
+            fanin_latency(SimTime::from_us(99), early.iter()),
+            Some(SimTime::ZERO)
+        );
     }
 
     #[test]

@@ -15,6 +15,6 @@ mod flows;
 mod percentile;
 mod report;
 
-pub use flows::{summarize_flows, FctSummary, FlowRecord};
+pub use flows::{fanin_latency, summarize_flows, FctSummary, FlowRecord};
 pub use percentile::Samples;
 pub use report::{write_csv, Metric};

@@ -24,8 +24,9 @@
 //!
 //! The [`registry`] module holds the `tlt-metrics/v1` counters / gauges /
 //! histograms, and the [`profile`] module the `tlt-profile/v1` engine
-//! profiles (per-event-kind tallies plus bounded sim-time [`TimeSeries`]);
-//! both merge deterministically in plan order.
+//! profiles (per-event-kind tallies plus bounded sim-time [`TimeSeries`]),
+//! and the [`serve`] module the `tlt-serve/v1` per-request SLO reports;
+//! all merge deterministically in plan order.
 //!
 //! Everything is `std`-only: the crate must build with no registry access.
 //!
@@ -55,6 +56,7 @@ pub mod inspect;
 pub mod profile;
 pub mod registry;
 mod series;
+pub mod serve;
 mod sink;
 mod tracer;
 
@@ -64,6 +66,7 @@ pub use profile::{
 };
 pub use registry::{metrics_summary, Hist, Registry, METRICS_SCHEMA};
 pub use series::{PortKey, SeriesPoint, SeriesSink};
+pub use serve::{serve_summary, ServeReport, SERVE_SCHEMA};
 pub use sink::{
     BufferSink, CountingSink, FanoutSink, JsonlSink, NodeCounts, RingSink, TraceCounts, TraceSink,
 };

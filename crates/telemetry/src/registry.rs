@@ -56,6 +56,17 @@ fn bucket_lo(idx: usize) -> u64 {
     }
 }
 
+/// Inclusive upper bound of bucket `idx` (used by the midpoint estimator).
+fn bucket_hi(idx: usize) -> u64 {
+    if idx < 16 {
+        idx as u64
+    } else if idx + 1 >= HIST_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lo(idx + 1) - 1
+    }
+}
+
 /// A fixed-bucket log-linear histogram of unsigned samples.
 ///
 /// Relative bucket error is bounded by 1/4 above 16 and zero below it —
@@ -125,6 +136,33 @@ impl Hist {
             seen += n;
             if seen > rank {
                 return bucket_lo(i);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket-midpoint percentile estimator at per-mille resolution (`q`
+    /// in 0..=1000, so the p999 tail is expressible — `quantile_permille(999)`).
+    ///
+    /// Like [`Hist::quantile`] this is pure integer arithmetic over the
+    /// log-linear buckets (deterministic and mergeable, no stored
+    /// samples), but it estimates with the *midpoint* of the selected
+    /// bucket, clamped to the observed min/max. Buckets are 1/4-octave
+    /// wide above 16, so the estimate is within ±12.5% of the true sample
+    /// value — the bounded-memory alternative to a per-request sample
+    /// vector at thousands-of-hosts scale.
+    pub fn quantile_permille(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count - 1) * q.min(1000) / 1000;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                let lo = bucket_lo(i);
+                let mid = lo + (bucket_hi(i) - lo) / 2;
+                return mid.clamp(self.min(), self.max);
             }
         }
         self.max
@@ -877,6 +915,89 @@ mod tests {
         }
         assert_eq!(h.quantile(0), 0);
         assert_eq!(h.quantile(100), bucket_lo(HIST_BUCKETS - 1));
+    }
+
+    /// Midpoint estimator vs a known uniform distribution: every
+    /// percentile lands within the documented ±12.5% bucket error.
+    #[test]
+    fn quantile_permille_tracks_uniform_distribution() {
+        let mut h = Hist::default();
+        for v in 1..=100_000u64 {
+            h.observe(v);
+        }
+        for (q, truth) in [
+            (100u64, 10_000u64),
+            (500, 50_000),
+            (900, 90_000),
+            (990, 99_000),
+            (999, 99_900),
+        ] {
+            let est = h.quantile_permille(q);
+            let err = est.abs_diff(truth) as f64 / truth as f64;
+            assert!(err <= 0.125, "q={q}: est {est} vs {truth} ({err:.3})");
+        }
+        assert_eq!(h.quantile_permille(0), 1, "clamped to observed min");
+        assert_eq!(h.quantile_permille(1000), 100_000, "p100 is the max");
+    }
+
+    /// p999 separates from p99 on a heavy-tailed set — the reason the
+    /// serve SLO table needs per-mille resolution at all.
+    #[test]
+    fn quantile_permille_resolves_the_p999_tail() {
+        let mut h = Hist::default();
+        for _ in 0..995 {
+            h.observe(100);
+        }
+        for _ in 0..5 {
+            h.observe(1_000_000);
+        }
+        let p990 = h.quantile_permille(990);
+        let p999 = h.quantile_permille(999);
+        assert!(p990 <= 125, "body estimate {p990}");
+        assert!(p999 >= 875_000, "tail estimate {p999}");
+        // The legacy percent-resolution API cannot express the difference.
+        assert_eq!(h.quantile(99), h.quantile(99));
+    }
+
+    /// Values below 16 are exact buckets: the midpoint estimator returns
+    /// the sample values themselves, and the estimate is mergeable — a
+    /// split-then-merge histogram answers exactly like the whole.
+    #[test]
+    fn quantile_permille_exact_small_values_and_mergeable() {
+        let mut h = Hist::default();
+        for v in [2u64, 4, 4, 9] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile_permille(0), 2);
+        assert_eq!(h.quantile_permille(500), 4);
+        assert_eq!(h.quantile_permille(1000), 9);
+
+        let mut rng = eventsim::SimRng::seed_from(0x51_0E);
+        let mut whole = Hist::default();
+        let mut left = Hist::default();
+        let mut right = Hist::default();
+        for i in 0..10_000 {
+            let v = rng.gen_range_u64(1..5_000_000);
+            whole.observe(v);
+            if i % 2 == 0 {
+                left.observe(v);
+            } else {
+                right.observe(v);
+            }
+        }
+        left.merge(&right);
+        for q in [0u64, 10, 250, 500, 900, 990, 999, 1000] {
+            assert_eq!(left.quantile_permille(q), whole.quantile_permille(q));
+        }
+        // Monotone in q.
+        let mut prev = 0;
+        for q in (0..=1000u64).step_by(25) {
+            let est = whole.quantile_permille(q);
+            assert!(est >= prev, "quantile_permille({q}) regressed");
+            prev = est;
+        }
+        // Empty histogram reports 0, like the other accessors.
+        assert_eq!(Hist::default().quantile_permille(999), 0);
     }
 
     #[test]

@@ -120,6 +120,18 @@ impl FlowSizeCdf {
         self.name
     }
 
+    /// Looks up a published workload by its [`FlowSizeCdf::name`] tag —
+    /// the CLI surface (`serve_grid --workload`) maps flag values to
+    /// distributions through this.
+    pub fn by_name(name: &str) -> Option<FlowSizeCdf> {
+        Some(match name {
+            "web_search" => FlowSizeCdf::web_search(),
+            "web_server" => FlowSizeCdf::web_server(),
+            "cache_follower" => FlowSizeCdf::cache_follower(),
+            _ => return None,
+        })
+    }
+
     /// Draws one flow size.
     pub fn sample(&self, rng: &mut SimRng) -> u64 {
         let u = rng.gen_unit_f64();
@@ -212,6 +224,16 @@ mod tests {
             let s = cdf.sample(&mut rng);
             assert!(s == 32_000 || s == 31_999);
         }
+    }
+
+    #[test]
+    fn by_name_roundtrips_published_workloads() {
+        for name in ["web_search", "web_server", "cache_follower"] {
+            let cdf = FlowSizeCdf::by_name(name).expect(name);
+            assert_eq!(cdf.name(), name);
+        }
+        assert!(FlowSizeCdf::by_name("fixed").is_none());
+        assert!(FlowSizeCdf::by_name("nope").is_none());
     }
 
     #[test]
