@@ -986,9 +986,7 @@ impl Engine {
         let metrics = self.metrics.take().map(|mut m| {
             let r = &mut m.reg;
             for (cause, n) in agg.rto_causes.iter() {
-                let mut name = String::from("rto_cause_");
-                name.push_str(cause.as_str());
-                r.inc(&name, n);
+                r.inc(&format!("rto_cause_{}", cause.as_str()), n);
             }
             r.inc("timeouts", agg.timeouts);
             r.inc("fast_retx", agg.fast_retx);

@@ -1,0 +1,394 @@
+//! A minimal JSON reader/writer for the two documents simlint owns:
+//! `ci/metrics_schema.json` (the S-rules' declared-key source) and the
+//! per-file content-hash cache. Hand-rolled like the lexer — no deps, no
+//! floats (nothing simlint stores needs them), and every parsed string
+//! remembers its 1-based source line so schema-drift findings can point at
+//! the exact declaration inside the schema file.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers are unsigned integers — the schema and the
+/// cache never contain anything else, and refusing floats keeps the writer
+/// byte-deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    Num(u64),
+    /// A string, with the 1-based line it started on in the source text.
+    Str(String, u32),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. `BTreeMap` so re-serialization is deterministic; the
+    /// u32 is the line of the *key*.
+    Obj(BTreeMap<String, (Value, u32)>),
+}
+
+impl Value {
+    /// The value under `key`, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key).map(|(v, _)| v),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s, _) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The source line a string started on (1 for non-strings).
+    pub fn line(&self) -> u32 {
+        match self {
+            Value::Str(_, line) => *line,
+            _ => 1,
+        }
+    }
+
+    /// Numeric contents, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array (empty slice otherwise).
+    pub fn items(&self) -> &[Value] {
+        match self {
+            Value::Arr(v) => v,
+            _ => &[],
+        }
+    }
+
+    /// The strings of an array of strings, with their source lines.
+    pub fn str_items(&self) -> Vec<(&str, u32)> {
+        self.items()
+            .iter()
+            .filter_map(|v| match v {
+                Value::Str(s, line) => Some((s.as_str(), *line)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Parses `text` into a [`Value`].
+///
+/// # Errors
+///
+/// Returns `Err(message)` with a line-positioned description on malformed
+/// input (including floats and negative numbers, which simlint never
+/// stores).
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+        line: 1,
+    };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("line {}: trailing data after JSON value", p.line));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b'\n' {
+                self.line += 1;
+            }
+            if c.is_ascii_whitespace() {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("line {}: {}", self.line, what)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => {
+                let line = self.line;
+                Ok(Value::Str(self.string()?, line))
+            }
+            Some(b'0'..=b'9') => self.number(),
+            Some(b't') if self.b[self.i..].starts_with(b"true") => {
+                self.i += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if self.b[self.i..].starts_with(b"false") => {
+                self.i += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if self.b[self.i..].starts_with(b"null") => {
+                self.i += 4;
+                Ok(Value::Null)
+            }
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut m = BTreeMap::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(m));
+        }
+        loop {
+            self.ws();
+            let key_line = self.line;
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let v = self.value()?;
+            m.insert(key, (v, key_line));
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(m));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut v = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Arr(v));
+        }
+        loop {
+            self.ws();
+            v.push(self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(v));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            match c {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(hex).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("unsupported escape in string")),
+                    }
+                    self.i += 1;
+                }
+                b'\n' => return Err(self.err("unterminated string")),
+                _ => {
+                    // Copy the raw byte run (UTF-8 passes through intact).
+                    let start = self.i;
+                    while self
+                        .b
+                        .get(self.i)
+                        .is_some_and(|&c| c != b'"' && c != b'\\' && c != b'\n')
+                    {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                    );
+                }
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(u8::is_ascii_digit) {
+            self.i += 1;
+        }
+        if matches!(self.b.get(self.i), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("floats are not supported"));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+/// Serializes `v` compactly and deterministically (object keys are already
+/// sorted by the `BTreeMap`).
+pub fn write(v: &Value) -> String {
+    let mut s = String::new();
+    write_into(v, &mut s);
+    s
+}
+
+fn write_into(v: &Value, s: &mut String) {
+    match v {
+        Value::Null => s.push_str("null"),
+        Value::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            let _ = write!(s, "{n}");
+        }
+        Value::Str(t, _) => write_str(t, s),
+        Value::Arr(items) => {
+            s.push('[');
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                write_into(it, s);
+            }
+            s.push(']');
+        }
+        Value::Obj(m) => {
+            s.push('{');
+            for (i, (k, (val, _))) in m.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                write_str(k, s);
+                s.push(':');
+                write_into(val, s);
+            }
+            s.push('}');
+        }
+    }
+}
+
+fn write_str(t: &str, s: &mut String) {
+    s.push('"');
+    for c in t.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Escapes one string as a standalone JSON string literal (for the CLI's
+/// `--format json` output, which streams findings without building a
+/// [`Value`]).
+pub fn escape(t: &str) -> String {
+    let mut s = String::with_capacity(t.len() + 2);
+    write_str(t, &mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_objects_arrays_and_scalars() {
+        let text = r#"{"b": true, "arr": [1, 2, "x"], "nested": {"n": null, "k": 7}}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("b"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("arr").unwrap().items().len(), 3);
+        assert_eq!(v.get("nested").unwrap().get("k").unwrap().as_u64(), Some(7));
+        let re = parse(&write(&v)).unwrap();
+        assert_eq!(v, re);
+    }
+
+    #[test]
+    fn strings_remember_their_line() {
+        let text = "{\n  \"a\": [\n    \"first\",\n    \"second\"\n  ]\n}";
+        let v = parse(text).unwrap();
+        let items = v.get("a").unwrap().str_items();
+        assert_eq!(items, vec![("first", 3), ("second", 4)]);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let text = r#"{"k": "a\"b\\c\ndA"}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("a\"b\\c\ndA"));
+        assert_eq!(parse(&write(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_line() {
+        for bad in ["{", "[1,", "\"open", "{\"k\" 1}", "1.5", "{\"a\":01x}"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = parse("{\n  \"k\": oops\n}").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -14,6 +14,8 @@
 //! Comments are additionally scanned for suppression pragmas of the form
 //! `// simlint: allow(<rule>, <reason>)`. A pragma covers its own line and
 //! the next line, so it can trail the offending expression or sit above it.
+//! Doc comments (`///`, `//!`, `/**`, `/*!`) are exempt: they document the
+//! syntax, they never carry an allowance.
 
 /// Kinds of token the rules distinguish.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,6 +26,11 @@ pub enum TokKind {
     Num,
     /// A single punctuation character (`:`, `(`, `{`, `#`, …).
     Punct,
+    /// A string literal. `text` is the *raw source slice including quotes*
+    /// (and any `b`/`r`/`#` adornment), so it can never collide with the
+    /// punctuation/identifier matching the structural rules do; use
+    /// [`str_contents`] to get the contents.
+    Str,
 }
 
 /// One token with its source line (1-based).
@@ -64,6 +71,19 @@ impl Lexed {
             .iter()
             .any(|p| p.rule == rule && (p.line == line || p.line + 1 == line))
     }
+}
+
+/// Contents of a [`TokKind::Str`] token's raw source slice: strips the
+/// optional `b`/`r` prefixes, raw-string hashes, and the enclosing quotes.
+/// Escape sequences are left as written — the item-graph rules only ever
+/// inspect escape-free literals (metric keys, wire tags).
+pub fn str_contents(raw: &str) -> &str {
+    let s = raw.strip_prefix('b').unwrap_or(raw);
+    let s = s.strip_prefix('r').unwrap_or(s);
+    let s = s.trim_matches('#');
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(s)
 }
 
 fn is_ident_start(b: u8) -> bool {
@@ -167,7 +187,12 @@ pub fn lex(src: &str) -> Lexed {
                 while j < len && b[j] != b'\n' {
                     j += 1;
                 }
-                parse_pragma(&src[start..j], line, &mut out.pragmas);
+                // Doc comments (`///`, `//!`) document pragmas, they never
+                // carry one — otherwise every mention of the syntax in
+                // rustdoc would register as a (stale) allowance.
+                if !matches!(b.get(start), Some(b'/' | b'!')) {
+                    parse_pragma(&src[start..j], line, &mut out.pragmas);
+                }
                 i = j;
             }
             b'/' if i + 1 < len && b[i + 1] == b'*' => {
@@ -185,16 +210,24 @@ pub fn lex(src: &str) -> Lexed {
                         j += 1;
                     }
                 }
-                parse_pragma(
-                    &src[start..j.saturating_sub(2).max(start)],
-                    line,
-                    &mut out.pragmas,
-                );
+                // `/**`/`/*!` are block doc comments: same exemption.
+                if !matches!(b.get(start), Some(b'*' | b'!')) {
+                    parse_pragma(
+                        &src[start..j.saturating_sub(2).max(start)],
+                        line,
+                        &mut out.pragmas,
+                    );
+                }
                 line += newlines(&b[i..j]);
                 i = j;
             }
             b'"' => {
                 let j = skip_string(b, i).expect("quote starts a string");
+                out.toks.push(Tok {
+                    text: src[i..j].to_string(),
+                    line,
+                    kind: TokKind::Str,
+                });
                 line += newlines(&b[i..j]);
                 i = j;
             }
@@ -250,6 +283,11 @@ pub fn lex(src: &str) -> Lexed {
                 // A `b`/`r`/`br` prefix may start a (raw) string literal.
                 if matches!(c, b'b' | b'r') {
                     if let Some(j) = skip_string(b, i) {
+                        out.toks.push(Tok {
+                            text: src[i..j].to_string(),
+                            line,
+                            kind: TokKind::Str,
+                        });
                         line += newlines(&b[i..j]);
                         i = j;
                         continue;
@@ -337,6 +375,18 @@ mod tests {
     }
 
     #[test]
+    fn doc_comments_never_carry_pragmas() {
+        let src = "//! `// simlint: allow(unordered, reason)` is the syntax.\n\
+                   /// Use `// simlint: allow(truncation, bound)` to suppress.\n\
+                   /** simlint: allow(wallclock, x) */\n\
+                   /*! simlint: allow(float-order, y) */\n\
+                   // simlint: allow(unordered, a real one)\n";
+        let l = lex(src);
+        assert_eq!(l.pragmas.len(), 1, "{:?}", l.pragmas);
+        assert_eq!(l.pragmas[0].line, 5);
+    }
+
+    #[test]
     fn line_numbers_survive_multiline_constructs() {
         let src = "/* a\nb */\nlet x = \"s\ntring\";\nmarker";
         let l = lex(src);
@@ -349,5 +399,80 @@ mod tests {
         let l = lex("for i in 0..n {}");
         let texts: Vec<_> = l.toks.iter().map(|t| t.text.as_str()).collect();
         assert_eq!(texts, vec!["for", "i", "in", "0", ".", ".", "n", "{", "}"]);
+    }
+
+    #[test]
+    fn string_literals_become_str_tokens_with_contents() {
+        let l = lex(r##"r.inc("drops_color", 1); let p = r#"raw/{n}"#; let b = b"bytes";"##);
+        let strs: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| str_contents(&t.text))
+            .collect();
+        assert_eq!(strs, vec!["drops_color", "raw/{n}", "bytes"]);
+        // The raw slice keeps its quotes, so it can never be mistaken for
+        // punctuation or an identifier by structural scans.
+        let raw: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(raw[0], "\"drops_color\"");
+        assert_eq!(raw[1], "r#\"raw/{n}\"#");
+    }
+
+    #[test]
+    fn str_tokens_cannot_shadow_structure() {
+        // A literal holding "{" or ")" must not confuse brace/paren matching:
+        // its token text includes the quotes.
+        let l = lex("f(\"(\", \"{\", \"}\")");
+        let puncts: Vec<&str> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["(", ",", ",", ")"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_crlf_sources() {
+        // CRLF line endings: `\r` is plain whitespace, `\n` counts lines —
+        // including inside multi-line strings and block comments.
+        let src = "line1\r\n/* c\r\nc */\r\nlet s = \"a\r\nb\";\r\nmarker";
+        let l = lex(src);
+        let m = l.toks.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(m.line, 6);
+        let s = l.toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.line, 4, "string starts on line 4");
+    }
+
+    #[test]
+    fn line_numbers_survive_raw_string_edge_cases() {
+        // Raw strings spanning lines, embedding quotes, hashes, and
+        // comment-lookalike text must neither derail the token stream nor
+        // the line counter.
+        let src = "r##\"first\n\"# not the end\n// not a comment\n\"##;\nmarker\nr\"\\\"; // backslash is literal in raw strings\nmarker2";
+        let l = lex(src);
+        let m = l.toks.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(m.line, 5);
+        let m2 = l.toks.iter().find(|t| t.text == "marker2").unwrap();
+        assert_eq!(m2.line, 7);
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            2,
+            "both raw strings lexed as single tokens"
+        );
+    }
+
+    #[test]
+    fn str_contents_strips_adornment() {
+        assert_eq!(str_contents("\"plain\""), "plain");
+        assert_eq!(str_contents("r\"raw\""), "raw");
+        assert_eq!(str_contents("r#\"hash\"#"), "hash");
+        assert_eq!(str_contents("r##\"#inner#\"##"), "#inner#");
+        assert_eq!(str_contents("b\"bytes\""), "bytes");
     }
 }
