@@ -282,7 +282,13 @@ pub fn load(text: &str) -> Result<Doc, String> {
     };
     match schema.as_str() {
         "tlt-bench-baseline/v1" => flatten_bench(&v, &mut doc),
-        "tlt-profile/v1" | "tlt-metrics/v1" | "tlt-serve/v1" => flatten_registry(&v, &mut doc),
+        // `tlt-spans/v1` embeds a registry body (phase hists + span counters)
+        // next to its span-tree array; the registry part flattens like any
+        // other export and the trees are ignored — spans keys are
+        // informational, never graded (see `direction`).
+        "tlt-profile/v1" | "tlt-metrics/v1" | "tlt-serve/v1" | "tlt-spans/v1" => {
+            flatten_registry(&v, &mut doc)
+        }
         other => return Err(format!("unsupported schema {other:?}")),
     }
     Ok(doc)
@@ -682,6 +688,42 @@ mod tests {
         assert_eq!(doc.nums["counter/serve_slo_viol_timeout/dctcp"], 3.0);
         assert_eq!(doc.nums["hist/serve_req_latency_ns/dctcp/count"], 1.0);
         assert_eq!(doc.meta.get("scale").map(String::as_str), Some("k8"));
+    }
+
+    #[test]
+    fn parses_and_flattens_spans_report_as_informational() {
+        let mut rep = telemetry::SpanReport::new();
+        let mut phases = telemetry::PhaseTimes::default();
+        phases.add(telemetry::Phase::Serialization, 64_000);
+        phases.add(telemetry::Phase::RtoStall, 4_000_000);
+        rep.record_flow("dctcp+tlt", &phases, phases.total(), 0);
+        rep.record_violation("dctcp+tlt", telemetry::Phase::RtoStall);
+        rep.reg.set_meta("scale", "k8");
+        let doc = load(&rep.to_json()).unwrap();
+        assert_eq!(doc.schema, "tlt-spans/v1");
+        assert_eq!(doc.nums["counter/span_flows/dctcp+tlt"], 1.0);
+        assert_eq!(
+            doc.nums["hist/span_phase_ns/dctcp+tlt/rto_stall/sum"],
+            4_000_000.0
+        );
+        assert_eq!(doc.nums["hist/span_fct_ns/dctcp+tlt/count"], 1.0);
+        assert_eq!(
+            doc.nums["counter/serve_viol_phase/dctcp+tlt/rto_stall"],
+            1.0
+        );
+        assert_eq!(doc.meta.get("scale").map(String::as_str), Some("k8"));
+        // Spans keys are reported, never graded: a 10x phase-time shift in
+        // the new report must not trip --fail-on-regression.
+        let mut worse = telemetry::SpanReport::new();
+        let mut slow = telemetry::PhaseTimes::default();
+        slow.add(telemetry::Phase::Serialization, 640_000);
+        slow.add(telemetry::Phase::RtoStall, 40_000_000);
+        worse.record_flow("dctcp+tlt", &slow, slow.total(), 0);
+        worse.record_violation("dctcp+tlt", telemetry::Phase::RtoStall);
+        worse.reg.set_meta("scale", "k8");
+        let cmp = compare(&doc, &load(&worse.to_json()).unwrap(), 10.0);
+        assert!(cmp.refusal.is_none());
+        assert_eq!(cmp.regressions().count(), 0, "spans keys are informational");
     }
 
     #[test]

@@ -101,8 +101,17 @@ struct GridSpec {
 }
 
 /// Runs the scheme × load × seed grid and folds the per-request SLO
-/// accounting in plan order.
-fn run_grid(spec: &GridSpec, seeds: u64, jobs: usize) -> (Vec<runner::SchemeResult>, ServeReport) {
+/// accounting in plan order. The third element is the merged `tlt-spans/v1`
+/// report — `Some` only when the `ledger` feature is compiled in.
+fn run_grid(
+    spec: &GridSpec,
+    seeds: u64,
+    jobs: usize,
+) -> (
+    Vec<runner::SchemeResult>,
+    ServeReport,
+    Option<telemetry::SpanReport>,
+) {
     // Scheme label → the exact params that generated its request stream;
     // the analyze hook regenerates the (cheap) request index from these to
     // join request ids against the finished run.
@@ -119,6 +128,18 @@ fn run_grid(spec: &GridSpec, seeds: u64, jobs: usize) -> (Vec<runner::SchemeResu
     }
     let slo = spec.base.slo;
 
+    // Span-tree side channel: the analyze hook returns only a Registry, so
+    // per-cell SpanReports land in a shared map keyed by (scheme, seed) and
+    // merge in BTreeMap key order after the run — SpanReport::merge is
+    // order-independent, so the export stays byte-identical under any
+    // `--jobs` value.
+    #[cfg(feature = "ledger")]
+    let spans_acc: std::sync::Arc<
+        std::sync::Mutex<BTreeMap<(String, u64), telemetry::SpanReport>>,
+    > = Default::default();
+    #[cfg(feature = "ledger")]
+    let spans_in = spans_acc.clone();
+
     let mut plan = RunPlan::sized(jobs, seeds).analyze(move |name, seed, res| {
         let params = &params_by_scheme[name];
         let wl = serve::generate(params, seed);
@@ -127,6 +148,14 @@ fn run_grid(spec: &GridSpec, seeds: u64, jobs: usize) -> (Vec<runner::SchemeResu
         // violation must be backed by at least one recorded RTO.
         rep.reg
             .inc(&format!("serve_rtos/{name}"), res.forensics.len() as u64);
+        #[cfg(feature = "ledger")]
+        {
+            let sp = serve::account_spans(name, seed, &wl, res, params.slo);
+            spans_in
+                .lock()
+                .expect("spans accumulator")
+                .insert((name.to_string(), seed), sp);
+        }
         rep.reg
     });
     for load in &spec.loads {
@@ -155,7 +184,22 @@ fn run_grid(spec: &GridSpec, seeds: u64, jobs: usize) -> (Vec<runner::SchemeResu
     rep.reg
         .set_meta("slo_ns", &spec.base.slo.as_ns().to_string());
     rep.reg.set_meta("workload", spec.base.response_cdf.name());
-    (out.results, verify_forensic_join(rep, slo))
+    #[cfg(feature = "ledger")]
+    let spans = {
+        let map = std::mem::take(&mut *spans_acc.lock().expect("spans accumulator"));
+        let mut sp = telemetry::SpanReport::new();
+        for frag in map.values() {
+            sp.merge(frag);
+        }
+        sp.reg.set_meta("scale", spec.scale);
+        sp.reg
+            .set_meta("slo_ns", &spec.base.slo.as_ns().to_string());
+        sp.reg.set_meta("workload", spec.base.response_cdf.name());
+        Some(sp)
+    };
+    #[cfg(not(feature = "ledger"))]
+    let spans = None;
+    (out.results, verify_forensic_join(rep, slo), spans)
 }
 
 /// Cross-checks the timeout join: per scheme, the per-cause breakdown sums
@@ -189,7 +233,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: serve_grid [--scale k8|k24] [--serve-out file.json] [--workload name] \
+        "usage: serve_grid [--scale k8|k24] [--serve-out file.json] [--spans-out file.json] \
+         [--perfetto-out file.json] [--workload name] \
          [--slo-us N] [--gap-us N] [--fanout N] [standard harness flags]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
@@ -199,6 +244,8 @@ fn main() {
     // Pre-extract the bespoke flags, hand the rest to the standard parser.
     let mut scale = "k8".to_string();
     let mut serve_out: Option<String> = None;
+    let mut spans_out: Option<String> = None;
+    let mut perfetto_out: Option<String> = None;
     let mut workload_name = "cache_follower".to_string();
     let mut slo_us: u64 = 2_000;
     let mut gap_us: Option<u64> = None;
@@ -212,6 +259,18 @@ fn main() {
                 serve_out = Some(
                     it.next()
                         .unwrap_or_else(|| usage("--serve-out needs a path")),
+                )
+            }
+            "--spans-out" => {
+                spans_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--spans-out needs a path")),
+                )
+            }
+            "--perfetto-out" => {
+                perfetto_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--perfetto-out needs a path")),
                 )
             }
             "--workload" => {
@@ -301,7 +360,7 @@ fn main() {
         kinds: KINDS.to_vec(),
     };
 
-    let (results, mut rep) = run_grid(&spec, args.seeds, args.effective_jobs());
+    let (results, mut rep, spans) = run_grid(&spec, args.seeds, args.effective_jobs());
     Provenance::deterministic(&args).stamp(&mut rep.reg);
     // The fabric degree is this report's identity; re-pin it over the
     // harness quick/default/full label the provenance stamp wrote.
@@ -309,6 +368,20 @@ fn main() {
 
     print!("{}", rep.render());
     println!("  forensic cross-check: ok (causes sum to timeout violations, bounded by RTOs)");
+
+    if let Some(sp) = &spans {
+        // Runtime conservation gate (release builds included): a nonzero
+        // residue would falsify the whole phase table, so abort loudly.
+        for scheme in sp.schemes() {
+            let r = sp.conservation_residue(&scheme);
+            assert_eq!(r, 0, "scheme {scheme}: latency ledger residue {r} ns");
+        }
+        print!("{}", sp.render());
+        println!("  conservation cross-check: ok (sum phases == sum FCT, zero unattributed)");
+    } else if spans_out.is_some() || perfetto_out.is_some() {
+        eprintln!("error: --spans-out/--perfetto-out need a build with the `ledger` feature");
+        std::process::exit(2);
+    }
 
     runner::print_header(
         "flow-level cross-reference (request flows are fg)",
@@ -334,6 +407,18 @@ fn main() {
         std::fs::write(path, rep.to_json())
             .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
         eprintln!("wrote {path}");
+    }
+    if let Some(sp) = &spans {
+        if let Some(path) = &spans_out {
+            std::fs::write(path, sp.to_json())
+                .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &perfetto_out {
+            std::fs::write(path, sp.to_perfetto())
+                .unwrap_or_else(|e| usage(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
     }
 }
 
@@ -368,8 +453,8 @@ mod tests {
     /// TLT, and survives its own parser.
     #[test]
     fn grid_report_is_byte_identical_across_jobs() {
-        let (_, seq) = run_grid(&tiny_spec(), 1, 1);
-        let (_, par) = run_grid(&tiny_spec(), 1, 4);
+        let (_, seq, _) = run_grid(&tiny_spec(), 1, 1);
+        let (_, par, _) = run_grid(&tiny_spec(), 1, 4);
         let a = seq.to_json();
         let b = par.to_json();
         assert_eq!(a, b, "serve report differs under --jobs");
@@ -384,6 +469,40 @@ mod tests {
             assert_eq!(seq.reg.counter(&format!("serve_requests/{s}")), 16);
         }
         let back = ServeReport::parse(&a).expect("self-parse");
+        assert_eq!(back.to_json(), a);
+    }
+
+    /// The spans acceptance bar: `tlt-spans/v1` and its Perfetto rendering
+    /// are byte-identical under different worker counts, conservation is
+    /// closed for every scheme, and the export survives its own parser.
+    #[test]
+    #[cfg(feature = "ledger")]
+    fn spans_report_is_byte_identical_and_conserved_across_jobs() {
+        let (_, _, seq) = run_grid(&tiny_spec(), 2, 1);
+        let (_, _, par) = run_grid(&tiny_spec(), 2, 4);
+        let seq = seq.expect("ledger feature on");
+        let par = par.expect("ledger feature on");
+        let a = seq.to_json();
+        assert_eq!(a, par.to_json(), "spans report differs under --jobs");
+        assert_eq!(
+            seq.to_perfetto(),
+            par.to_perfetto(),
+            "perfetto export differs under --jobs"
+        );
+        assert!(a.contains("tlt-spans/v1"));
+        for scheme in seq.schemes() {
+            assert_eq!(
+                seq.conservation_residue(&scheme),
+                0,
+                "scheme {scheme} not conserved"
+            );
+            assert_eq!(
+                seq.reg.counter(&format!("span_unattributed_ns/{scheme}")),
+                0
+            );
+        }
+        assert!(!seq.spans.is_empty(), "worst-request reservoir populated");
+        let back = telemetry::SpanReport::parse(&a).expect("self-parse");
         assert_eq!(back.to_json(), a);
     }
 

@@ -10,27 +10,31 @@
 //! export produced by the experiment binaries' `--metrics` flag, and
 //! `--serve <file>` a `tlt-serve/v1` SLO report produced by `serve_grid
 //! --serve-out`: the per-scheme p50/p99/p999 request-latency table plus the
-//! timeout-violation cause breakdown.
+//! timeout-violation cause breakdown. `--spans <file>` renders a
+//! `tlt-spans/v1` latency-ledger export produced by `serve_grid
+//! --spans-out`: the per-scheme phase × percentile table, the worst-request
+//! span trees, and the SLO-violation dominant-phase breakdown.
 //!
 //! Exit status: 0 when every run is internally consistent, 1 when any run's
 //! counted events disagree with its declared totals (or the file contains
 //! malformed/orphaned lines), 2 on usage or I/O errors — including a
-//! malformed `--metrics`/`--serve` file, whose positional parse diagnostic
-//! is forwarded.
+//! malformed `--metrics`/`--serve`/`--spans` file, whose positional parse
+//! diagnostic is forwarded.
 
 use std::fs::File;
 use std::io::BufReader;
 
 use telemetry::inspect::inspect_reader;
-use telemetry::{metrics_summary, serve_summary};
+use telemetry::{metrics_summary, serve_summary, spans_summary};
 
-const USAGE: &str =
-    "usage: trace_inspect [--metrics metrics.json] [--serve serve.json] <trace.jsonl>...";
+const USAGE: &str = "usage: trace_inspect [--metrics metrics.json] [--serve serve.json] \
+     [--spans spans.json] <trace.jsonl>...";
 
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut metrics: Vec<String> = Vec::new();
     let mut serve: Vec<String> = Vec::new();
+    let mut spans: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -54,6 +58,14 @@ fn main() {
                 };
                 serve.push(path);
             }
+            "--spans" => {
+                let Some(path) = args.next() else {
+                    eprintln!("error: --spans needs a file argument");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                };
+                spans.push(path);
+            }
             other if other.starts_with("--") => {
                 eprintln!("error: unknown flag {other}");
                 eprintln!("{USAGE}");
@@ -62,7 +74,7 @@ fn main() {
             path => paths.push(path.to_string()),
         }
     }
-    if paths.is_empty() && metrics.is_empty() && serve.is_empty() {
+    if paths.is_empty() && metrics.is_empty() && serve.is_empty() && spans.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
@@ -105,6 +117,18 @@ fn main() {
             std::process::exit(2);
         });
         println!("### serve {path}");
+        print!("{summary}");
+    }
+    for path in &spans {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open {path}: {e}");
+            std::process::exit(2);
+        });
+        let summary = spans_summary(&text).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("### spans {path}");
         print!("{summary}");
     }
     std::process::exit(if clean { 0 } else { 1 });

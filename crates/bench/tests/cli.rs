@@ -66,6 +66,82 @@ fn trace_inspect_rejects_malformed_metrics_with_diagnostic() {
     }
 }
 
+/// A minimal well-formed `tlt-spans/v1` export: one flow's phase breakdown
+/// plus one request span so every section of the document is exercised.
+fn spans_json() -> String {
+    let mut rep = telemetry::SpanReport::new();
+    let mut phases = telemetry::PhaseTimes::default();
+    phases.add(telemetry::Phase::Serialization, 64_000);
+    phases.add(telemetry::Phase::SwitchQueue, 21_000);
+    phases.add(telemetry::Phase::RtoStall, 4_000_000);
+    rep.record_flow("dctcp", &phases, phases.total(), 0);
+    rep.record_violation("dctcp", telemetry::Phase::RtoStall);
+    rep.push_request(telemetry::RequestSpan {
+        scheme: "dctcp".to_string(),
+        seed: 1,
+        req: 0,
+        start_ns: 0,
+        latency_ns: phases.total(),
+        dominant: telemetry::Phase::RtoStall,
+        flows: vec![telemetry::FlowSpan {
+            id: 0,
+            role: "query".to_string(),
+            start_ns: 0,
+            end_ns: phases.total(),
+            phases,
+            stalls: Vec::new(),
+        }],
+    });
+    rep.to_json()
+}
+
+#[test]
+fn trace_inspect_rejects_malformed_spans_with_diagnostic() {
+    let bin = env!("CARGO_BIN_EXE_trace_inspect");
+
+    // Outright garbage: exit 2 and a parse diagnostic naming the file.
+    let garbage = tmp("spans-garbage.json", "not even json [");
+    let out = run(bin, &["--spans", garbage.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("cannot parse"), "diagnostic missing: {err}");
+    assert!(
+        err.contains("spans-garbage.json"),
+        "file name missing: {err}"
+    );
+
+    // Every truncation of a valid document must fail cleanly with the
+    // positional schema diagnostic, never render a partial span report.
+    let good = spans_json();
+    let truncated = tmp("spans-truncated.json", &good[..good.len() * 2 / 3]);
+    let out = run(bin, &["--spans", truncated.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("invalid tlt-spans JSON"));
+
+    // A document with the wrong schema tag is rejected, not misrendered.
+    let wrong = tmp("spans-wrong-schema.json", &metrics_json());
+    let out = run(bin, &["--spans", wrong.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("invalid tlt-spans JSON"));
+
+    // Missing file: exit 2 with an open diagnostic.
+    let out = run(bin, &["--spans", "/nonexistent/spans.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot open"));
+
+    // The intact export renders the phase table and exits 0.
+    let intact = tmp("spans-intact.json", &good);
+    let out = run(bin, &["--spans", intact.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let body = stdout(&out);
+    assert!(body.contains("rto_stall"), "phase table missing: {body}");
+    assert!(body.contains("### spans"), "section header missing: {body}");
+
+    for p in [garbage, truncated, wrong, intact] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 fn bench_report(wall_ms: f64, build_profile: &str) -> String {
     format!(
         "{{\n  \"schema\": \"tlt-bench-baseline/v1\",\n  \"generated_by\": \"bench_baseline\",\n\

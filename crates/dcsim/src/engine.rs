@@ -153,6 +153,10 @@ pub struct SimResult {
     /// The engine profile (per-event-kind tallies, queue health, sim-time
     /// series). `Some` only when the `profile` feature is compiled in.
     pub profile: Option<telemetry::Profile>,
+    /// Per-flow latency ledgers: the closed per-phase time decomposition
+    /// (`Σ phases == FCT` for completed flows). `Some` only when the
+    /// `ledger` feature is compiled in.
+    pub ledger: Option<Vec<crate::latency::FlowLedgerRecord>>,
 }
 
 enum Event {
@@ -322,6 +326,23 @@ struct FlowRuntime {
     timer_queued_at: [Option<SimTime>; TIMER_KINDS.len()],
     timer_queued_gen: [u64; TIMER_KINDS.len()],
     timer_res_seq: [u64; TIMER_KINDS.len()],
+    /// Latency-ledger state: timeline frontier, recovery mode, per-phase
+    /// accumulators, stall ring.
+    #[cfg(feature = "ledger")]
+    lg: crate::latency::FlowLedger,
+}
+
+/// Cumulative time `(node, port)` has spent PFC-paused up to `now`. The
+/// latency ledger snapshots this at wait-begin and diffs it at dequeue, so
+/// the PFC share of any wait costs two u64 reads, never a timeline walk.
+#[cfg(feature = "ledger")]
+fn pause_cum_ns(ps: &PortState, now: SimTime) -> u64 {
+    ps.paused_total.as_ns()
+        + if ps.paused {
+            (now - ps.paused_since).as_ns()
+        } else {
+            0
+        }
 }
 
 /// The simulation engine. See the crate docs for an end-to-end example.
@@ -480,6 +501,8 @@ impl Engine {
                 timer_queued_at: [None; TIMER_KINDS.len()],
                 timer_queued_gen: [0; TIMER_KINDS.len()],
                 timer_res_seq: [0; TIMER_KINDS.len()],
+                #[cfg(feature = "ledger")]
+                lg: crate::latency::FlowLedger::default(),
             });
         }
         if let Some(every) = cfg.queue_sample_every {
@@ -694,6 +717,12 @@ impl Engine {
                     self.tracer
                         .emit(t, || TraceEvent::FlowStart { flow: f, bytes });
                     let rt = &mut self.flows[f as usize];
+                    // The ledger opens at FlowStart *execution*, which is
+                    // also the recorded `spec.start` (dependent flows have
+                    // it rewritten to the absolute release time), so the
+                    // frontier and the FCT base coincide exactly.
+                    #[cfg(feature = "ledger")]
+                    rt.lg.begin(t.as_ns());
                     rt.sender.start(&mut Ctx {
                         now: t,
                         actions: &mut self.actions,
@@ -980,6 +1009,32 @@ impl Engine {
         #[cfg(feature = "strict-invariants")]
         self.ledger.audit_final(&agg);
 
+        // Seal the latency ledgers. This is where the tentpole invariant is
+        // audited: for every completed flow the per-arrival windows must
+        // tile [start, completion] exactly, so Σ phases == FCT with zero
+        // unattributed time — across the full fault grid, not just clean
+        // runs.
+        #[cfg(feature = "ledger")]
+        let ledger = Some(
+            self.flows
+                .iter()
+                .enumerate()
+                .map(|(i, rt)| {
+                    let rec = rt.lg.to_record(i as u32, rt.complete_at.map(|t| t.as_ns()));
+                    #[cfg(feature = "strict-invariants")]
+                    debug_assert_eq!(
+                        rec.residue(),
+                        rt.complete_at.map(|_| 0i128),
+                        "flow {i}: latency ledger not conserved ({:?})",
+                        rec.phases
+                    );
+                    rec
+                })
+                .collect(),
+        );
+        #[cfg(not(feature = "ledger"))]
+        let ledger = None;
+
         // Seal the metrics registry with the end-of-run counters. Every
         // name is always written (even at zero) so the exported schema is
         // identical across runs and configurations.
@@ -1029,6 +1084,7 @@ impl Engine {
             forensics,
             metrics,
             profile,
+            ledger,
         }
     }
 
@@ -1076,6 +1132,16 @@ impl Engine {
             }
             let pkt = self.pkts.take(pref);
             let rt = &mut self.flows[f as usize];
+            // Every endpoint arrival advances the flow's ledger frontier to
+            // `now`, attributing the window behind it — by the packet's own
+            // journey decomposition in normal operation, wholesale to the
+            // recovery phase otherwise. The completing arrival therefore
+            // closes the conservation invariant at the exact FCT instant.
+            #[cfg(feature = "ledger")]
+            if rt.complete_at.is_none() {
+                let data_fwd = pkt.dir == Direction::Fwd && !pkt.is_control();
+                rt.lg.on_arrival(self.now.as_ns(), &pkt.lg, data_fwd);
+            }
             let mut ctx = Ctx {
                 now: self.now,
                 actions: &mut self.actions,
@@ -1089,7 +1155,19 @@ impl Engine {
                         finished = true;
                     }
                 }
-                Direction::Rev => rt.sender.on_packet(&pkt, &mut ctx),
+                Direction::Rev => {
+                    // A delivered ACK/NACK that triggers fast (or go-back-N)
+                    // retransmission flips the ledger into fast recovery;
+                    // the triggering arrival itself was attributed normally
+                    // above, so the mode governs only the windows after it.
+                    #[cfg(feature = "ledger")]
+                    let pre_fast = rt.sender.stats().fast_retx;
+                    rt.sender.on_packet(&pkt, &mut ctx);
+                    #[cfg(feature = "ledger")]
+                    if rt.complete_at.is_none() && rt.sender.stats().fast_retx > pre_fast {
+                        rt.lg.on_fast_retx(self.now.as_ns());
+                    }
+                }
             }
             if finished {
                 self.tracer
@@ -1123,9 +1201,18 @@ impl Engine {
         let egress = path[h].port;
         // Provenance, captured before the switch takes ownership: a drop
         // outcome must be attributable to this flow's loss ring.
+        #[cfg(feature = "ledger")]
+        let pause_cum = pause_cum_ns(&self.ports[to.0 as usize][egress.0 as usize], self.now);
         let (p_dir, p_ctrl, p_epoch) = {
             let p = self.pkts.get_mut(pref);
             p.hop += 1;
+            // Wait-begin stamp: the journey's switch-queue segment opens at
+            // arrival and closes at the egress dequeue in `kick_port`.
+            #[cfg(feature = "ledger")]
+            {
+                p.lg.wait_since_ns = self.now.as_ns();
+                p.lg.pause_cum_ns = pause_cum;
+            }
             (p.dir, p.is_control(), p.epoch)
         };
         let sw = self.switches[to.0 as usize]
@@ -1207,6 +1294,24 @@ impl Engine {
             self.host_q[n].pop_front()
         };
         let Some(pkt) = pkt else { return };
+        // Wait-close: the early return above guarantees the port is
+        // unpaused now, so the cumulative pause counter alone bounds how
+        // much of this packet's wait was PFC back-pressure; the rest is
+        // host/pacing wait at a NIC or switch queueing at a switch.
+        #[cfg(feature = "ledger")]
+        {
+            let is_host = self.switches[n].is_none();
+            let cum = ps.paused_total.as_ns();
+            let p = self.pkts.get_mut(pkt);
+            let waited = self.now.as_ns() - p.lg.wait_since_ns;
+            let paused = cum.saturating_sub(p.lg.pause_cum_ns).min(waited);
+            p.lg.pause_ns += paused;
+            if is_host {
+                p.lg.host_ns += waited - paused;
+            } else {
+                p.lg.queue_ns += waited - paused;
+            }
+        }
         let (lid, rec) = self.topo.link_from(node, port);
         let (spec, to) = (rec.spec, rec.to);
         let wire = self.pkts.get(pkt).wire_size();
@@ -1276,6 +1381,15 @@ impl Engine {
         }
         #[cfg(feature = "strict-invariants")]
         self.ledger.on_scheduled(lid.0 as usize, wire);
+        // Journey contiguity: dequeue at `now`, arrival at `now + tx +
+        // delay` — accumulating exactly those two terms keeps the journey's
+        // phase sum equal to arrival − origin with no gap.
+        #[cfg(feature = "ledger")]
+        {
+            let p = self.pkts.get_mut(pkt);
+            p.lg.serialize_ns += tx.as_ns();
+            p.lg.propagate_ns += spec.delay.as_ns();
+        }
         self.sched(
             self.now + tx + spec.delay,
             Event::Deliver {
@@ -1338,6 +1452,13 @@ impl Engine {
     /// nothing of it was ever dropped — took a spurious, delay-induced
     /// timeout (`Delay`). Anything else is `Unknown`.
     fn attribute_rto(&mut self, f: u32, t: SimTime) {
+        // The latency ledger rides the same forensic hook: the quiet window
+        // that led up to this firing *was* the RTO stall, and everything
+        // after is RTO recovery until a fresh-epoch data packet lands.
+        #[cfg(feature = "ledger")]
+        if self.flows[f as usize].complete_at.is_none() {
+            self.flows[f as usize].lg.on_rto(t.as_ns());
+        }
         let rt = &self.flows[f as usize];
         let epoch = rt.tx_epoch;
         let armed = rt.rto_armed_at;
@@ -1554,6 +1675,16 @@ impl Engine {
                     };
                     pkt.hop = 1;
                     pkt.epoch = rt.tx_epoch;
+                    // Journey origin: the packet enters the host egress
+                    // queue (always port 0 of a host) right now.
+                    #[cfg(feature = "ledger")]
+                    {
+                        let now_ns = self.now.as_ns();
+                        pkt.lg.origin_ns = now_ns;
+                        pkt.lg.wait_since_ns = now_ns;
+                        pkt.lg.pause_cum_ns =
+                            pause_cum_ns(&self.ports[origin.0 as usize][0], self.now);
+                    }
                     // The frame enters the arena here and stays there for
                     // its whole wire lifetime; only handles move from now on.
                     let pkt = self.pkts.insert(pkt);
@@ -2310,6 +2441,141 @@ mod tests {
             "storm stalled the flow: {fct_storm} vs {fct_clean}"
         );
         assert_eq!(stormy.agg.timeouts, 0, "300 us pause is below RTO_min");
+    }
+
+    /// The tentpole invariant, exercised end-to-end: across transports,
+    /// TLT on/off, PFC, incast drops/RTOs, corruption, flaps, and pause
+    /// storms, every completed flow's ledger must close exactly
+    /// (`Σ phases == FCT`, zero unattributed time) and incomplete flows
+    /// must carry no completion record.
+    #[test]
+    #[cfg(feature = "ledger")]
+    fn latency_ledger_closes_over_the_fault_grid() {
+        use telemetry::Phase;
+        let audit = |res: &SimResult, label: &str| {
+            let recs = res.ledger.as_ref().expect("ledger feature is on");
+            assert_eq!(recs.len(), res.flows.len(), "{label}: one ledger per flow");
+            for (rec, fr) in recs.iter().zip(res.flows.iter()) {
+                assert_eq!(rec.end_ns, fr.end.map(|t| t.as_ns()), "{label}: end");
+                match rec.residue() {
+                    Some(r) => assert_eq!(
+                        r,
+                        0,
+                        "{label}: flow {} residue {r} (phases {:?}, fct {:?})",
+                        rec.flow,
+                        rec.phases,
+                        rec.fct_ns()
+                    ),
+                    None => assert!(fr.end.is_none(), "{label}: missing fct"),
+                }
+            }
+        };
+
+        // Incast overflow: drops, fast retx, and RTO stalls all present.
+        let mut cfg =
+            SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(49));
+        cfg.switch.buffer_bytes = 800_000;
+        cfg.switch.ecn = netsim::switch::EcnConfig::Threshold { k: 100_000 };
+        let flows: Vec<FlowSpec> = (1..49)
+            .flat_map(|s| {
+                [
+                    FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true),
+                    FlowSpec::new(s, 0, 8_000, SimTime::ZERO, true),
+                ]
+            })
+            .collect();
+        let res = Engine::new(cfg, flows).run();
+        assert!(res.agg.timeouts > 0, "incast must exercise the RTO phase");
+        audit(&res, "incast");
+        let recs = res.ledger.as_ref().unwrap();
+        assert!(
+            recs.iter().any(|r| r.phases.get(Phase::RtoStall) > 0),
+            "some flow spent time in RTO stall"
+        );
+        assert!(
+            recs.iter()
+                .any(|r| r.stalls.iter().any(|s| s.phase == Phase::RtoStall)),
+            "stall intervals retained for span trees"
+        );
+
+        // PFC pause pressure: the pause phase must both appear and conserve.
+        let mut cfg = SimConfig::roce_family(TransportKind::DcqcnGbn)
+            .with_topology(small_single_switch(5))
+            .with_pfc();
+        cfg.switch.buffer_bytes = 200_000;
+        let flows: Vec<FlowSpec> = (1..5)
+            .map(|s| FlowSpec::new(s, 0, 500_000, SimTime::ZERO, true))
+            .collect();
+        let res = Engine::new(cfg, flows).run();
+        assert!(res.agg.pause_frames > 0, "PFC actually engaged");
+        audit(&res, "pfc");
+        assert!(
+            res.ledger
+                .as_ref()
+                .unwrap()
+                .iter()
+                .any(|r| r.phases.get(Phase::PfcPause) > 0),
+            "pause time attributed"
+        );
+
+        // Fault schedule: corruption + a flap + a pause storm + truncation.
+        let mut cfg =
+            SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(4));
+        cfg.max_time = SimTime::from_ms(50);
+        cfg.wire_loss_rate = 0.005;
+        cfg.faults = faults::FaultSchedule::new()
+            .link_flap(SimTime::from_us(200), 2, 0, SimTime::from_us(5))
+            .pause_storm(SimTime::from_us(400), 0, 1, SimTime::from_us(200))
+            // Host index 2 is node 3: flow index 1 is severed mid-transfer.
+            .link_down(SimTime::from_us(100), 3, 0);
+        let flows = vec![
+            FlowSpec::new(1, 0, 300_000, SimTime::ZERO, true),
+            FlowSpec::new(2, 0, 300_000, SimTime::ZERO, true),
+            FlowSpec::new(3, 0, 300_000, SimTime::ZERO, true),
+        ];
+        let res = Engine::new(cfg, flows).run();
+        assert!(res.flows[1].end.is_none(), "severed flow truncated");
+        audit(&res, "faults");
+
+        // Dependent chains: rewritten start times stay conserved too.
+        let cfg = SimConfig::tcp_family(TransportKind::Dctcp).with_topology(small_single_switch(3));
+        let flows = vec![
+            FlowSpec::new(0, 1, 50_000, SimTime::ZERO, true),
+            FlowSpec::new(1, 0, 100_000, SimTime::from_us(10), true).after(0),
+        ];
+        let res = Engine::new(cfg, flows).run();
+        audit(&res, "deps");
+        let recs = res.ledger.as_ref().unwrap();
+        assert_eq!(
+            recs[1].start_ns,
+            res.flows[1].start.as_ns(),
+            "dependent ledger opens at the rewritten absolute start"
+        );
+    }
+
+    /// Determinism of the ledger itself: identical runs produce identical
+    /// phase decompositions and stall rings.
+    #[test]
+    #[cfg(feature = "ledger")]
+    fn latency_ledger_is_deterministic() {
+        let mk = || {
+            let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+                .with_topology(small_single_switch(9))
+                .with_seed(7);
+            cfg.switch.buffer_bytes = 100_000;
+            let flows: Vec<FlowSpec> = (1..9)
+                .map(|s| FlowSpec::new(s, 0, 60_000, SimTime::ZERO, true))
+                .collect();
+            Engine::new(cfg, flows).run()
+        };
+        let (a, b) = (mk(), mk());
+        let (la, lb) = (a.ledger.unwrap(), b.ledger.unwrap());
+        assert_eq!(la.len(), lb.len());
+        for (x, y) in la.iter().zip(lb.iter()) {
+            assert_eq!(x.phases, y.phases);
+            assert_eq!(x.stalls, y.stalls);
+            assert_eq!(x.end_ns, y.end_ns);
+        }
     }
 
     #[test]

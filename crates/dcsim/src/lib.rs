@@ -33,6 +33,7 @@
 
 mod config;
 mod engine;
+pub mod latency;
 #[cfg(feature = "strict-invariants")]
 pub mod ledger;
 #[cfg(feature = "profile")]
@@ -40,6 +41,7 @@ pub mod profile;
 
 pub use config::{small_single_switch, FlowSpec, SimConfig, SwitchParams, TltSettings};
 pub use engine::{AggregateStats, Engine, RtoForensicRec, SimResult};
+pub use latency::{FlowLedgerRecord, StallInterval};
 
 // Re-exported so engine users can build fault schedules without naming the
 // `faults` crate in their own dependency list.

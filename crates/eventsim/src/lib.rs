@@ -34,4 +34,4 @@ mod time;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use time::SimTime;
+pub use time::{prorate_ns, SimTime};

@@ -97,6 +97,59 @@ impl SimTime {
     }
 }
 
+/// Splits `window_ns` across `weights` proportionally with exact `u128`
+/// integer math: slot `i` receives `floor(window_ns * weights[i] / total)`,
+/// then the rounding remainder is handed out one nanosecond at a time to the
+/// nonzero-weight slots in index order. The returned shares therefore sum to
+/// **exactly** `window_ns` — the property the latency ledger's conservation
+/// invariant needs when it clips a pipelined packet journey's per-phase
+/// decomposition down to the wait window being attributed. Pure integer
+/// arithmetic, so the split is byte-deterministic across platforms.
+///
+/// When every weight is zero (or `weights` is empty and `window_ns` is
+/// nonzero, which is a caller bug), the whole window goes to the first slot
+/// so no time is ever silently lost.
+///
+/// # Examples
+///
+/// ```
+/// use eventsim::prorate_ns;
+///
+/// assert_eq!(prorate_ns(10, &[1, 1, 1]), [4, 3, 3]); // 3+3+3 floor, +1 to slot 0
+/// assert_eq!(prorate_ns(100, &[3, 0, 1]), [75, 0, 25]);
+/// assert_eq!(prorate_ns(7, &[0, 0]), [7, 0]); // zero total: slot 0 absorbs
+/// let shares = prorate_ns(999, &[17, 5, 0, 61]);
+/// assert_eq!(shares.iter().sum::<u64>(), 999);
+/// ```
+pub fn prorate_ns(window_ns: u64, weights: &[u64]) -> Vec<u64> {
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    let mut shares = vec![0u64; weights.len()];
+    if total == 0 {
+        shares[0] = window_ns;
+        return shares;
+    }
+    let mut assigned: u64 = 0;
+    for (s, &w) in shares.iter_mut().zip(weights.iter()) {
+        *s = (window_ns as u128 * w as u128 / total) as u64;
+        assigned += *s;
+    }
+    let mut rem = window_ns - assigned;
+    for (s, &w) in shares.iter_mut().zip(weights.iter()) {
+        if rem == 0 {
+            break;
+        }
+        if w > 0 {
+            *s += 1;
+            rem -= 1;
+        }
+    }
+    debug_assert_eq!(rem, 0, "remainder exceeds nonzero-weight slots");
+    shares
+}
+
 impl Add for SimTime {
     type Output = SimTime;
     #[inline]
@@ -191,5 +244,38 @@ mod tests {
     #[should_panic(expected = "invalid time")]
     fn from_secs_f64_rejects_negative() {
         let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn prorate_conserves_exactly() {
+        // Exhaustive-ish sweep: every split must sum to the window.
+        for window in [0u64, 1, 7, 999, 1_000_000_007] {
+            for weights in [
+                &[1u64, 1, 1][..],
+                &[3, 0, 1],
+                &[0, 0, 0],
+                &[u64::MAX / 4, u64::MAX / 4, 1],
+                &[17],
+            ] {
+                let shares = prorate_ns(window, weights);
+                assert_eq!(shares.iter().sum::<u64>(), window, "{window} {weights:?}");
+                assert_eq!(shares.len(), weights.len());
+            }
+        }
+        assert!(prorate_ns(100, &[]).is_empty());
+    }
+
+    #[test]
+    fn prorate_is_proportional_and_deterministic() {
+        let shares = prorate_ns(1000, &[900, 100]);
+        assert_eq!(shares, [900, 100]);
+        let shares = prorate_ns(10, &[1, 1, 1]);
+        assert_eq!(shares, [4, 3, 3], "remainder goes to earliest slots");
+        assert_eq!(prorate_ns(10, &[1, 1, 1]), prorate_ns(10, &[1, 1, 1]));
+        // Zero-weight slots never receive remainder nanoseconds.
+        let shares = prorate_ns(11, &[0, 5, 0, 5]);
+        assert_eq!(shares[0], 0);
+        assert_eq!(shares[2], 0);
+        assert_eq!(shares.iter().sum::<u64>(), 11);
     }
 }

@@ -98,6 +98,36 @@ pub struct IntHop {
     pub rate_bps: u64,
 }
 
+/// Latency-ledger journey stamps carried by every in-flight packet (`ledger`
+/// feature only). The engine stamps the journey origin when the packet
+/// enters the host source queue and accumulates per-phase nanoseconds as the
+/// packet moves: wait time is measured at the host/switch dequeue sites
+/// (with the port's cumulative PFC pause time snapshotted at wait entry so
+/// the paused share can be split out exactly), serialization and propagation
+/// at the link-transmission site. On arrival at the endpoint the five
+/// journey phases sum to `now - origin_ns` exactly — the per-packet half of
+/// the ledger's conservation invariant.
+#[cfg(feature = "ledger")]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct JourneyStamps {
+    /// When the packet entered the host source queue (journey origin, ns).
+    pub origin_ns: u64,
+    /// When the packet entered the queue it currently waits in (ns).
+    pub wait_since_ns: u64,
+    /// The waited-on port's cumulative pause time at wait entry (ns).
+    pub pause_cum_ns: u64,
+    /// Nanoseconds spent serializing onto links so far.
+    pub serialize_ns: u64,
+    /// Nanoseconds spent in flight across links so far.
+    pub propagate_ns: u64,
+    /// Nanoseconds waiting in switch egress FIFOs (pause share excluded).
+    pub queue_ns: u64,
+    /// Nanoseconds blocked behind a PFC pause (host or switch egress).
+    pub pause_ns: u64,
+    /// Nanoseconds waiting in the host source queue (pause share excluded).
+    pub host_ns: u64,
+}
+
 /// Fixed L2+L3+L4 header overhead added to every packet's wire size (bytes).
 pub const HEADER_BYTES: u32 = 48;
 /// Wire overhead per SACK block (bytes).
@@ -160,6 +190,9 @@ pub struct Packet {
     /// a loss record can tell pre-timeout losses from retransmission-round
     /// losses without storing per-packet history.
     pub epoch: u32,
+    /// Latency-ledger journey stamps (`ledger` feature only).
+    #[cfg(feature = "ledger")]
+    pub lg: JourneyStamps,
 }
 
 impl Packet {
@@ -185,6 +218,8 @@ impl Packet {
             is_retx: false,
             is_tail: false,
             epoch: 0,
+            #[cfg(feature = "ledger")]
+            lg: JourneyStamps::default(),
         }
     }
 

@@ -257,6 +257,94 @@ pub fn account(scheme: &str, wl: &ServeWorkload, res: &SimResult, slo: SimTime) 
     rep
 }
 
+/// Joins a finished ledger-enabled run against the request index and builds
+/// the `tlt-spans/v1` fragment for `scheme`: per-scheme phase/FCT
+/// histograms from *every* completed flow, dominant-phase attribution for
+/// each SLO violation, and a span tree (request → query flows → response
+/// flows → stall intervals) offered to the worst-K reservoir.
+///
+/// `seed` is recorded on each span so trees from different grid cells stay
+/// distinguishable after the plan-order fold. Incomplete requests
+/// contribute no span (an unfinished request has no latency), but their
+/// completed member flows still feed the phase histograms.
+///
+/// # Panics
+///
+/// Panics when `res` carries no ledger (the run was compiled or executed
+/// without the `ledger` feature).
+#[cfg(feature = "ledger")]
+pub fn account_spans(
+    scheme: &str,
+    seed: u64,
+    wl: &ServeWorkload,
+    res: &SimResult,
+    slo: SimTime,
+) -> telemetry::SpanReport {
+    use telemetry::{FlowSpan, PhaseTimes, RequestSpan, SpanReport, StallSpan};
+
+    let recs = res
+        .ledger
+        .as_ref()
+        .expect("account_spans needs a ledger-enabled SimResult");
+    let mut rep = SpanReport::new();
+    for rec in recs {
+        if let Some(fct) = rec.fct_ns() {
+            // Conservation makes this zero; it is *recorded*, not silently
+            // assumed, so the exported artifact carries the proof.
+            let unattributed = fct.saturating_sub(rec.phases.total());
+            rep.record_flow(scheme, &rec.phases, fct, unattributed);
+        }
+    }
+    for (ri, req) in wl.requests.iter().enumerate() {
+        if !req.flow_ids().all(|f| res.flows[f as usize].end.is_some()) {
+            continue;
+        }
+        let group = req.responses.iter().map(|&r| &res.flows[r as usize]);
+        let latency =
+            netstats::fanin_latency(req.arrival, group).expect("complete request has a latency");
+        let mut phases = PhaseTimes::default();
+        let mut flows = Vec::with_capacity(req.queries.len() + req.responses.len());
+        for (j, f) in req.flow_ids().enumerate() {
+            let rec = &recs[f as usize];
+            phases.merge(&rec.phases);
+            flows.push(FlowSpan {
+                id: u64::from(f),
+                role: if j < req.queries.len() {
+                    "query".to_string()
+                } else {
+                    "response".to_string()
+                },
+                start_ns: rec.start_ns,
+                end_ns: rec.end_ns.expect("member flow completed"),
+                phases: rec.phases,
+                stalls: rec
+                    .stalls
+                    .iter()
+                    .map(|s| StallSpan {
+                        phase: s.phase,
+                        start_ns: s.start_ns,
+                        dur_ns: s.dur_ns,
+                    })
+                    .collect(),
+            });
+        }
+        let dominant = phases.dominant();
+        if latency > slo {
+            rep.record_violation(scheme, dominant);
+        }
+        rep.push_request(RequestSpan {
+            scheme: scheme.to_string(),
+            seed,
+            req: ri as u64,
+            start_ns: req.arrival.as_ns(),
+            latency_ns: latency.as_ns(),
+            dominant,
+            flows,
+        });
+    }
+    rep
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +475,71 @@ mod tests {
         let b = account("s", &wl, &res2, params.slo).to_json();
         assert_eq!(a, b);
         assert!(a.contains("tlt-serve/v1"));
+    }
+
+    /// The span join: every completed flow lands in the phase histograms
+    /// with zero residue, violation attribution matches the SLO verdicts,
+    /// and the worst-K reservoir holds genuinely-worst complete requests.
+    #[test]
+    #[cfg(feature = "ledger")]
+    fn account_spans_joins_ledger_into_span_trees() {
+        use telemetry::spans::TOP_K_REQUESTS;
+        let mut params = ServeParams::small(9);
+        params.requests = 32;
+        params.response_cdf = FlowSizeCdf::fixed(40_000);
+        params.slo = SimTime::from_us(600);
+        let wl = generate(&params, 11);
+        let mut cfg = SimConfig::tcp_family(TransportKind::Dctcp)
+            .with_topology(dcsim::small_single_switch(9))
+            .with_seed(11);
+        cfg.switch.buffer_bytes = 80_000; // shallow: force queueing + drops
+        let res = Engine::new(cfg, wl.flows.clone()).run();
+        let rep = account_spans("dctcp", 11, &wl, &res, params.slo);
+
+        // Conservation is closed end to end in the folded histograms.
+        assert_eq!(rep.conservation_residue("dctcp"), 0, "\n{}", rep.render());
+        let n_complete = res
+            .ledger
+            .as_ref()
+            .unwrap()
+            .iter()
+            .filter(|r| r.end_ns.is_some())
+            .count() as u64;
+        assert_eq!(rep.reg.counter("span_flows/dctcp"), n_complete);
+        assert_eq!(rep.reg.counter("span_unattributed_ns/dctcp"), 0);
+
+        // The reservoir is bounded, sorted worst-first, and every span tree
+        // is internally consistent (flows belong to the request; each flow
+        // span's decomposition closes).
+        assert!(!rep.spans.is_empty() && rep.spans.len() <= TOP_K_REQUESTS);
+        assert!(rep
+            .spans
+            .windows(2)
+            .all(|w| w[0].latency_ns >= w[1].latency_ns));
+        for span in &rep.spans {
+            let req = &wl.requests[span.req as usize];
+            let ids: Vec<u64> = req.flow_ids().map(u64::from).collect();
+            assert_eq!(span.flows.iter().map(|f| f.id).collect::<Vec<_>>(), ids);
+            for fs in &span.flows {
+                assert_eq!(fs.phases.total(), fs.end_ns - fs.start_ns);
+            }
+        }
+
+        // Violation attribution: one dominant-phase counter per violation.
+        let viols: u64 = rep
+            .reg
+            .counters()
+            .filter(|(k, _)| k.starts_with("serve_viol_phase/dctcp/"))
+            .map(|(_, v)| v)
+            .sum();
+        let base = account("dctcp", &wl, &res, params.slo);
+        let expected = base.reg.counter("serve_slo_viol_timeout/dctcp")
+            + base.reg.counter("serve_slo_viol_other/dctcp");
+        assert_eq!(viols, expected, "one dominant phase per SLO violation");
+
+        // Determinism: the join is a pure function of its inputs.
+        let again = account_spans("dctcp", 11, &wl, &res, params.slo);
+        assert_eq!(rep.to_json(), again.to_json());
     }
 
     /// A timeout-riddled run attributes SLO violations to RTO causes.

@@ -43,7 +43,7 @@ pub struct AuditedEnum {
 
 /// The audited-enum table. Growing one of these enums without growing its
 /// accounting/render/schema surfaces is exactly the drift the E-rules stop.
-pub const AUDITED: [AuditedEnum; 4] = [
+pub const AUDITED: [AuditedEnum; 5] = [
     AuditedEnum {
         name: "DropWhy",
         file: "crates/telemetry/src/event.rs",
@@ -67,6 +67,16 @@ pub const AUDITED: [AuditedEnum; 4] = [
         file: "crates/dcsim/src/profile.rs",
         mode: AccountingMode::AllConst,
         schema_prefix: None,
+    },
+    // The latency-ledger phase decomposition: the conservation invariant
+    // (Σ phases == FCT) only closes if every variant is accounted, rendered,
+    // and exported, so a new phase that misses any surface is exactly the
+    // drift E1–E3 exist to stop.
+    AuditedEnum {
+        name: "Phase",
+        file: "crates/telemetry/src/event.rs",
+        mode: AccountingMode::AllConst,
+        schema_prefix: Some("span_phase_ns/"),
     },
 ];
 

@@ -3,8 +3,8 @@
 //! The S-rules cross-check registry keys in two directions: code → schema
 //! (S1: an emitted key must be declared) and schema → code (S2: a declared
 //! key must still be emitted somewhere). This module flattens the schema
-//! document — the root section plus the nested `serve` and `profile`
-//! sections — into two lists: *exact* keys (from `required_counters`,
+//! document — the root section plus the nested `serve`, `profile`, and
+//! `spans` sections — into two lists: *exact* keys (from `required_counters`,
 //! `required_gauges`, `required_series` and their `optional_*` twins) and
 //! *prefixes* (from the `*_prefixes` arrays). Each entry remembers the
 //! schema line it was declared on so drift findings point into the JSON
@@ -24,7 +24,8 @@ pub struct DeclaredKey {
     pub key: String,
     /// 1-based line in the schema file where it is declared.
     pub line: u32,
-    /// Section path for diagnostics: `""` (root), `"serve"`, `"profile"`.
+    /// Section path for diagnostics: `""` (root), `"serve"`, `"profile"`,
+    /// `"spans"`.
     pub section: &'static str,
 }
 
@@ -60,7 +61,7 @@ const PREFIX_FIELDS: [&str; 8] = [
 ];
 
 /// Sub-objects of the root that are schema sections of their own.
-const SECTIONS: [&str; 2] = ["serve", "profile"];
+const SECTIONS: [&str; 3] = ["serve", "profile", "spans"];
 
 impl Schema {
     /// Parses the schema document text into the flattened key model.
@@ -108,6 +109,7 @@ fn section_tag(name: &str) -> &'static str {
     match name {
         "serve" => "serve",
         "profile" => "profile",
+        "spans" => "spans",
         _ => "",
     }
 }
@@ -147,6 +149,9 @@ mod tests {
         },
         "profile": {
             "required_series": ["events"]
+        },
+        "spans": {
+            "required_hist_prefixes": ["span_phase_ns/"]
         }
     }"#;
 
@@ -163,6 +168,12 @@ mod tests {
         let prefixes: Vec<&str> = s.prefixes.iter().map(|d| d.key.as_str()).collect();
         assert!(prefixes.contains(&"serve_requests/"));
         assert!(prefixes.contains(&"port_queue_max/"));
+        let spans = s
+            .prefixes
+            .iter()
+            .find(|d| d.key == "span_phase_ns/")
+            .unwrap();
+        assert_eq!(spans.section, "spans");
     }
 
     #[test]

@@ -365,6 +365,76 @@ impl RtoCause {
     assert_eq!(f[0].line, 4, "reported at the variant's declaration line");
 }
 
+/// A complete latency-ledger Phase fixture: variants, `ALL` table, render
+/// and parse arms — the shape the conservation invariant depends on.
+const PHASE_FULL: &str = r#"pub enum Phase {
+    Serialization,
+    SwitchQueue,
+    RtoStall,
+}
+impl Phase {
+    pub const ALL: [Phase; 3] = [Phase::Serialization, Phase::SwitchQueue, Phase::RtoStall];
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Serialization => "serialization",
+            Phase::SwitchQueue => "switch_queue",
+            Phase::RtoStall => "rto_stall",
+        }
+    }
+    pub fn parse(s: &str) -> Option<Phase> {
+        Some(match s {
+            "serialization" => Phase::Serialization,
+            "switch_queue" => Phase::SwitchQueue,
+            "rto_stall" => Phase::RtoStall,
+            _ => return None,
+        })
+    }
+}
+"#;
+
+#[test]
+fn e1_phase_missing_from_all_is_one_precise_finding() {
+    // The seeded mutation: delete one Phase accounting arm (its ALL entry).
+    // Ledger attribution and the per-scheme hists iterate ALL, so the
+    // deleted phase would silently stop being accounted — exactly one
+    // variant-precise E1 must fire.
+    let mutated = PHASE_FULL.replace("Phase::SwitchQueue, ", "");
+    let f = lint(&[(EVENT_RS, mutated.as_str())]);
+    assert_eq!(rules(&f), ["E1"]);
+    assert!(f[0].msg.contains("Phase::SwitchQueue"), "{}", f[0].msg);
+    assert!(f[0].msg.contains("ALL"), "{}", f[0].msg);
+    assert_eq!(f[0].line, 3, "reported at the variant's declaration line");
+
+    // The unmutated fixture passes clean.
+    let f = lint(&[(EVENT_RS, PHASE_FULL)]);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn e3_phase_hists_must_be_declared_in_the_spans_section() {
+    // Phase implies the per-scheme `span_phase_ns/…` hist family; a schema
+    // without the spans declaration gets one E3 per variant.
+    let f = lint_schema(&[(EVENT_RS, PHASE_FULL)], r#"{ "required_counters": [] }"#);
+    assert_eq!(rules(&f), ["E3", "E3", "E3"]);
+    assert!(f[0].msg.contains("span_phase_ns/"), "{}", f[0].msg);
+
+    // The nested spans section's prefix declaration covers every variant
+    // (the emitting file keeps the declared family alive for S2).
+    let f = lint_schema(
+        &[
+            (EVENT_RS, PHASE_FULL),
+            (
+                "crates/telemetry/src/spans.rs",
+                "fn acct(r: &mut Reg, scheme: &str, p: Phase, ns: u64) {\n\
+                     r.observe(&format!(\"span_phase_ns/{scheme}/{}\", p.as_str()), ns);\n\
+                 }\n",
+            ),
+        ],
+        r#"{ "spans": { "required_hist_prefixes": ["span_phase_ns/"] } }"#,
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
 #[test]
 fn e1_external_refs_mode_requires_non_test_use() {
     let faultkind = r#"pub enum FaultKind {

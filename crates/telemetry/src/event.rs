@@ -206,6 +206,134 @@ impl RtoCauseCounts {
     }
 }
 
+/// One phase of the latency ledger's per-flow time decomposition.
+///
+/// Every completed flow's wall time (`FCT`) splits exactly into these seven
+/// phases — the conservation invariant `Σ phases == FCT` is closed by
+/// construction and `debug_assert`ed under `strict-invariants`. The first
+/// five describe where a delivered packet's journey time went; the last two
+/// are recovery modes during which the whole flow timeline is attributed to
+/// loss recovery rather than to individual packet journeys.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Phase {
+    /// Transmitting bits onto a link (`wire_size / rate`), summed per hop.
+    Serialization,
+    /// Speed-of-light flight time across links, summed per hop.
+    Propagation,
+    /// Waiting in a switch egress FIFO behind other frames.
+    SwitchQueue,
+    /// Waiting at the host — pacing/window gating in the source queue, plus
+    /// gaps where nothing of this flow was in flight.
+    HostWait,
+    /// Egress blocked by a PFC pause (at the host NIC or a switch port).
+    PfcPause,
+    /// In fast-retransmit recovery (dup-ACK/SACK-driven, no timer fired).
+    FastRecovery,
+    /// Stalled waiting for a retransmission timer (the paper's target).
+    RtoStall,
+}
+
+impl Phase {
+    /// Every phase, in wire-tag order (fixed for deterministic iteration).
+    pub const ALL: [Phase; 7] = [
+        Phase::Serialization,
+        Phase::Propagation,
+        Phase::SwitchQueue,
+        Phase::HostWait,
+        Phase::PfcPause,
+        Phase::FastRecovery,
+        Phase::RtoStall,
+    ];
+
+    /// Stable wire tag (also the `span_phase_ns/` key suffix).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Serialization => "serialization",
+            Phase::Propagation => "propagation",
+            Phase::SwitchQueue => "switch_queue",
+            Phase::HostWait => "host_wait",
+            Phase::PfcPause => "pfc_pause",
+            Phase::FastRecovery => "fast_recovery",
+            Phase::RtoStall => "rto_stall",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn parse(s: &str) -> Option<Phase> {
+        Some(match s {
+            "serialization" => Phase::Serialization,
+            "propagation" => Phase::Propagation,
+            "switch_queue" => Phase::SwitchQueue,
+            "host_wait" => Phase::HostWait,
+            "pfc_pause" => Phase::PfcPause,
+            "fast_recovery" => Phase::FastRecovery,
+            "rto_stall" => Phase::RtoStall,
+            _ => return None,
+        })
+    }
+}
+
+/// Per-phase accumulated nanoseconds — one flow's (or one scheme's) latency
+/// ledger row. Field order is [`Phase::ALL`] order, so iteration, merge,
+/// and serialization are deterministic.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct PhaseTimes {
+    ns: [u64; Phase::ALL.len()],
+}
+
+impl PhaseTimes {
+    fn slot(phase: Phase) -> usize {
+        match phase {
+            Phase::Serialization => 0,
+            Phase::Propagation => 1,
+            Phase::SwitchQueue => 2,
+            Phase::HostWait => 3,
+            Phase::PfcPause => 4,
+            Phase::FastRecovery => 5,
+            Phase::RtoStall => 6,
+        }
+    }
+
+    /// Attributes `ns` nanoseconds to `phase`.
+    pub fn add(&mut self, phase: Phase, ns: u64) {
+        self.ns[PhaseTimes::slot(phase)] += ns;
+    }
+
+    /// Nanoseconds attributed to `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.ns[PhaseTimes::slot(phase)]
+    }
+
+    /// Sum over every phase — equals the flow's FCT when conservation holds.
+    pub fn total(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// The phase holding the largest share; ties break toward the earlier
+    /// [`Phase::ALL`] entry (deterministic).
+    pub fn dominant(&self) -> Phase {
+        let mut best = Phase::ALL[0];
+        for &p in &Phase::ALL[1..] {
+            if self.get(p) > self.get(best) {
+                best = p;
+            }
+        }
+        best
+    }
+
+    /// Element-wise sum (deterministic multi-flow/multi-run merging).
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for (a, b) in self.ns.iter_mut().zip(other.ns.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(phase, ns)` pairs in fixed [`Phase::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL.iter().map(|&p| (p, self.get(p)))
+    }
+}
+
 /// What kind of injected fault a [`TraceEvent::Fault`] records.
 ///
 /// Mirrors the `faults` crate's schedule actions without depending on it.

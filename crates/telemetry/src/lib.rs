@@ -58,9 +58,12 @@ pub mod registry;
 mod series;
 pub mod serve;
 mod sink;
+pub mod spans;
 mod tracer;
 
-pub use event::{DropWhy, FaultKind, RtoCause, RtoCauseCounts, TimerId, TraceEvent};
+pub use event::{
+    DropWhy, FaultKind, Phase, PhaseTimes, RtoCause, RtoCauseCounts, TimerId, TraceEvent,
+};
 pub use profile::{
     Profile, SeriesBucket, TimeSeries, PROFILE_SCHEMA, SERIES_BASE_WINDOW_NS, SERIES_MAX_BUCKETS,
 };
@@ -70,4 +73,5 @@ pub use serve::{serve_summary, ServeReport, SERVE_SCHEMA};
 pub use sink::{
     BufferSink, CountingSink, FanoutSink, JsonlSink, NodeCounts, RingSink, TraceCounts, TraceSink,
 };
+pub use spans::{spans_summary, FlowSpan, RequestSpan, SpanReport, StallSpan, SPANS_SCHEMA};
 pub use tracer::Tracer;
